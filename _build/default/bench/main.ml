@@ -1,0 +1,387 @@
+(* Regenerates every measured figure of the paper (Figures 2, 4, 5, 6, 7
+   and 8), the spurious-invalidation observation of Section 6, and the
+   design-choice ablations called out in DESIGN.md, plus bechamel
+   micro-benchmarks of the primitive operations.
+
+   Usage:  dune exec bench/main.exe [-- fig2 fig5 fig6 fig7 fig8 spurious
+                                        ablation micro summary quick]
+   With no arguments everything runs (the paper's full sweep). "quick"
+   restricts the thread sweep for a fast smoke run. *)
+
+open Mt_sim
+module Spec = Mt_workload.Spec
+module Driver = Mt_workload.Driver
+module Report = Mt_workload.Report
+
+(* ------------------------------------------------------------------ *)
+(* Configuration. *)
+
+let quick = ref false
+let threads_sweep () = if !quick then [ 1; 4; 16; 64 ] else [ 1; 2; 4; 8; 16; 32; 64 ]
+
+let list_range = 256
+let tree_range = 8192
+let vacation_relations = 16384
+
+module Abtree_params = struct
+  let a = 4
+  let b = 8
+end
+
+module Abtree_hoh = Mt_abtree.Abtree_hoh.Make (Abtree_params)
+module Abtree_llx = Mt_abtree.Abtree_llx.Make (Abtree_params)
+
+let list_impls : (module Mt_list.Set_intf.SET) list =
+  [ (module Mt_list.Harris_list); (module Mt_list.Vas_list); (module Mt_list.Hoh_list) ]
+
+let tree_impls : (module Mt_list.Set_intf.SET) list =
+  [ (module Abtree_llx); (module Abtree_hoh) ]
+
+(* ------------------------------------------------------------------ *)
+(* Generic figure runner for set structures. *)
+
+type series = { impl : string; points : (int * Driver.result) list }
+
+let run_series impls ~range ~insert_pct ~delete_pct ~measure_cycles =
+  List.map
+    (fun (module S : Mt_list.Set_intf.SET) ->
+      let points =
+        List.map
+          (fun threads ->
+            let spec =
+              Spec.make ~key_range:range ~insert_pct ~delete_pct ~threads
+                ~measure_cycles ()
+            in
+            let r = Driver.run_set (module S) spec in
+            Printf.printf "  [%s t=%d] %d ops\n%!" S.name threads r.Driver.ops;
+            (threads, r))
+          (threads_sweep ())
+      in
+      { impl = S.name; points })
+    impls
+
+let print_throughput_table ~title series =
+  let threads = List.map fst (List.hd series).points in
+  Report.table ~title
+    ~columns:("threads" :: List.map (fun s -> s.impl) series)
+    (List.map
+       (fun t ->
+         string_of_int t
+         :: List.map
+              (fun s -> Report.f2 (List.assoc t s.points).Driver.throughput)
+              series)
+       threads)
+
+let print_metric_tables ~prefix series =
+  print_throughput_table ~title:(prefix ^ " — throughput (ops / 1000 cycles)") series;
+  let threads = List.map fst (List.hd series).points in
+  Report.table
+    ~title:(prefix ^ " — L1 miss rate")
+    ~columns:("threads" :: List.map (fun s -> s.impl) series)
+    (List.map
+       (fun t ->
+         string_of_int t
+         :: List.map
+              (fun s -> Report.pct (List.assoc t s.points).Driver.l1_miss_rate)
+              series)
+       threads);
+  Report.table
+    ~title:(prefix ^ " — energy per operation (model units)")
+    ~columns:("threads" :: List.map (fun s -> s.impl) series)
+    (List.map
+       (fun t ->
+         string_of_int t
+         :: List.map
+              (fun s -> Report.f2 (List.assoc t s.points).Driver.energy_per_op)
+              series)
+       threads)
+
+let best_gain base_series other_series =
+  List.fold_left
+    (fun acc (t, r) ->
+      let b = (List.assoc t base_series.points).Driver.throughput in
+      if b > 0.0 then max acc (r.Driver.throughput /. b) else acc)
+    0.0 other_series.points
+
+(* Collected results for the summary block. *)
+let collected : (string * series list) list ref = ref []
+
+(* ------------------------------------------------------------------ *)
+(* Figures 2 / 4: lists at 35% insert, 35% delete, 30% contains. *)
+
+let fig2_fig4 () =
+  print_endline "\n=== Figures 2 & 4: linked lists, 35i/35d/30c ===";
+  let series =
+    run_series list_impls ~range:list_range ~insert_pct:35 ~delete_pct:35
+      ~measure_cycles:150_000
+  in
+  collected := ("fig2", series) :: !collected;
+  print_throughput_table ~title:"Figure 2 — list throughput vs threads (35/35/30)" series;
+  print_metric_tables ~prefix:"Figure 4 — lists (35/35/30)" series
+
+(* Figure 5: lists at 15% insert, 15% delete, 70% contains. *)
+let fig5 () =
+  print_endline "\n=== Figure 5: linked lists, 15i/15d/70c ===";
+  let series =
+    run_series list_impls ~range:list_range ~insert_pct:15 ~delete_pct:15
+      ~measure_cycles:150_000
+  in
+  collected := ("fig5", series) :: !collected;
+  print_metric_tables ~prefix:"Figure 5 — lists (15/15/70)" series
+
+(* Figures 6 / 7: (a,b)-trees, LLX/SCX baseline vs HoH tagging. *)
+let fig6 () =
+  print_endline "\n=== Figure 6: (a,b)-trees, 35i/35d/30c ===";
+  let series =
+    run_series tree_impls ~range:tree_range ~insert_pct:35 ~delete_pct:35
+      ~measure_cycles:150_000
+  in
+  collected := ("fig6", series) :: !collected;
+  print_metric_tables ~prefix:"Figure 6 — (a,b)-trees (35/35/30)" series
+
+let fig7 () =
+  print_endline "\n=== Figure 7: (a,b)-trees, 15i/15d/70c ===";
+  let series =
+    run_series tree_impls ~range:tree_range ~insert_pct:15 ~delete_pct:15
+      ~measure_cycles:150_000
+  in
+  collected := ("fig7", series) :: !collected;
+  print_metric_tables ~prefix:"Figure 7 — (a,b)-trees (15/15/70)" series
+
+(* ------------------------------------------------------------------ *)
+(* Figure 8: STAMP vacation on NOrec vs tagged NOrec,
+   -n4 -q60 -u90 -r16384 (-t is replaced by a fixed simulated window). *)
+
+let vacation_point (module S : Mt_stm.Stm_intf.S) threads relations =
+  let module V = Mt_stamp.Vacation.Make (S) in
+  let params = { V.relations; queries = 4; query_pct = 60; user_pct = 90 } in
+  (* STM read sets are much larger than a search-structure window; the
+     Fig. 8 configuration provisions 256 tags (see DESIGN.md). *)
+  let cfg = { (Config.default ~num_cores:threads ()) with Config.max_tags = 256 } in
+  let spec =
+    Spec.make ~key_range:relations ~insert_pct:0 ~delete_pct:0 ~threads
+      ~warmup_cycles:50_000 ~measure_cycles:400_000 ()
+  in
+  let stm_box = ref None in
+  let r =
+    Driver.run_custom ~cfg ~name:S.name
+      ~setup:(fun ctx ->
+        let stm = S.create ctx in
+        stm_box := Some stm;
+        (stm, V.setup ctx stm params))
+      ~op:(fun ctx (stm, mgr) -> V.client_op ctx stm mgr params)
+      spec
+  in
+  let stm = Option.get !stm_box in
+  Printf.printf "  [%s t=%d] %d txs, %d aborts, %d vbv passes\n%!" S.name threads
+    r.Driver.ops (S.aborts stm) (S.vbv_passes stm);
+  r
+
+let fig8 () =
+  print_endline "\n=== Figure 8: STAMP vacation on NOrec (-n4 -q60 -u90 -r16384) ===";
+  let relations = if !quick then 4096 else vacation_relations in
+  let impls : (module Mt_stm.Stm_intf.S) list =
+    [ (module Mt_stm.Norec); (module Mt_stm.Norec_tagged) ]
+  in
+  let series =
+    List.map
+      (fun (module S : Mt_stm.Stm_intf.S) ->
+        {
+          impl = S.name;
+          points =
+            List.map (fun t -> (t, vacation_point (module S) t relations)) (threads_sweep ());
+        })
+      impls
+  in
+  collected := ("fig8", series) :: !collected;
+  print_metric_tables ~prefix:"Figure 8 — vacation" series
+
+(* ------------------------------------------------------------------ *)
+(* Section 6 observation: spurious invalidations are negligible. *)
+
+let spurious () =
+  print_endline "\n=== Section 6: spurious validation failures ===";
+  let rows = ref [] in
+  let add name (r : Driver.result) =
+    let frac =
+      if r.validates = 0 then 0.0
+      else float_of_int r.validate_failures_spurious /. float_of_int r.validates
+    in
+    rows :=
+      [
+        name;
+        string_of_int r.validates;
+        string_of_int r.validate_failures;
+        string_of_int r.validate_failures_spurious;
+        Report.pct frac;
+      ]
+      :: !rows
+  in
+  let spec range =
+    Spec.make ~key_range:range ~insert_pct:35 ~delete_pct:35 ~threads:16
+      ~measure_cycles:150_000 ()
+  in
+  add "hoh-list r512" (Driver.run_set (module Mt_list.Hoh_list) (spec list_range));
+  add "hoh-abtree r8192" (Driver.run_set (module Abtree_hoh) (spec tree_range));
+  (* A deliberately oversized structure shows capacity evictions rising. *)
+  add "hoh-abtree r65536"
+    (Driver.run_set (module Abtree_hoh)
+       (Spec.make ~key_range:65536 ~insert_pct:35 ~delete_pct:35 ~threads:16
+          ~measure_cycles:150_000 ()));
+  Report.table ~title:"Spurious (capacity/overflow) validation failures"
+    ~columns:[ "workload"; "validates"; "failures"; "spurious"; "spurious/validate" ]
+    (List.rev !rows)
+
+(* ------------------------------------------------------------------ *)
+(* Ablations (DESIGN.md): explicit tag-op costs, conservative IAS,
+   Max_Tags sensitivity for the STM. *)
+
+let ablation () =
+  print_endline "\n=== Ablations ===";
+  let base_spec =
+    Spec.make ~key_range:list_range ~insert_pct:35 ~delete_pct:35 ~threads:16
+      ~measure_cycles:150_000 ()
+  in
+  let with_cfg name cfg =
+    let r = Driver.run_set ~cfg (module Mt_list.Hoh_list) base_spec in
+    [ name; Report.f2 r.Driver.throughput; Report.pct r.Driver.l1_miss_rate ]
+  in
+  let cfg0 = Config.default ~num_cores:16 () in
+  Report.table ~title:"Ablation: explicit tag-instruction costs (HoH list, t16)"
+    ~columns:[ "config"; "thr/kcyc"; "L1 miss" ]
+    [
+      with_cfg "tag=0 validate=0 (default)" cfg0;
+      with_cfg "tag=1 validate=1" { cfg0 with Config.lat_tag_op = 1; lat_validate = 1 };
+      with_cfg "tag=2 validate=4" { cfg0 with Config.lat_tag_op = 2; lat_validate = 4 };
+    ];
+  let tree_spec =
+    Spec.make ~key_range:tree_range ~insert_pct:35 ~delete_pct:35 ~threads:16
+      ~measure_cycles:150_000 ()
+  in
+  let tree_cfg name cfg =
+    let r = Driver.run_set ~cfg (module Abtree_hoh) tree_spec in
+    [ name; Report.f2 r.Driver.throughput; Report.pct r.Driver.l1_miss_rate ]
+  in
+  Report.table ~title:"Ablation: IAS invalidation scope (HoH abtree, t16)"
+    ~columns:[ "config"; "thr/kcyc"; "L1 miss" ]
+    [
+      tree_cfg "tag-targeted IAS (default)" cfg0;
+      tree_cfg "IAS elevates all sharers"
+        { cfg0 with Config.ias_tag_targeted = false };
+    ];
+  let vac_row max_tags =
+    let module S = Mt_stm.Norec_tagged in
+    let module V = Mt_stamp.Vacation.Make (S) in
+    let params = { V.relations = 4096; queries = 4; query_pct = 60; user_pct = 90 } in
+    let cfg = { (Config.default ~num_cores:16 ()) with Config.max_tags } in
+    let spec =
+      Spec.make ~key_range:4096 ~insert_pct:0 ~delete_pct:0 ~threads:16
+        ~measure_cycles:300_000 ()
+    in
+    let r =
+      Driver.run_custom ~cfg ~name:"vacation"
+        ~setup:(fun ctx ->
+          let stm = S.create ctx in
+          (stm, V.setup ctx stm params))
+        ~op:(fun ctx (stm, mgr) -> V.client_op ctx stm mgr params)
+        spec
+    in
+    [ string_of_int max_tags; Report.f2 r.Driver.throughput ]
+  in
+  Report.table ~title:"Ablation: Max_Tags for tagged NOrec (vacation r4096, t16)"
+    ~columns:[ "Max_Tags"; "thr/kcyc" ]
+    (List.map vac_row [ 32; 64; 128; 256 ])
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks: host-level cost of the simulator's primitive
+   operations (how expensive is simulating each primitive). *)
+
+let micro () =
+  print_endline "\n=== Bechamel micro-benchmarks (host ns per simulated primitive) ===";
+  let open Bechamel in
+  let open Bechamel.Toolkit in
+  let m = Machine.create (Config.default ~num_cores:2 ()) in
+  let a = Machine.alloc m ~words:8 in
+  let tests =
+    [
+      Test.make ~name:"machine-read" (Staged.stage (fun () -> ignore (Machine.read m ~core:0 a)));
+      Test.make ~name:"machine-write"
+        (Staged.stage (fun () -> ignore (Machine.write m ~core:0 a 1)));
+      Test.make ~name:"machine-cas"
+        (Staged.stage (fun () ->
+             ignore (Machine.cas m ~core:0 a ~expected:0 ~desired:0)));
+      Test.make ~name:"machine-tag-clear"
+        (Staged.stage (fun () ->
+             ignore (Machine.add_tag m ~core:0 a ~words:1);
+             ignore (Machine.clear_tag_set m ~core:0)));
+      Test.make ~name:"machine-vas"
+        (Staged.stage (fun () -> ignore (Machine.vas m ~core:0 a 1)));
+      Test.make ~name:"machine-ias"
+        (Staged.stage (fun () -> ignore (Machine.ias m ~core:0 a 1)));
+    ]
+  in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) () in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  List.iter
+    (fun test ->
+      let raw = Benchmark.all cfg Instance.[ monotonic_clock ] test in
+      let results = Analyze.all ols Instance.monotonic_clock raw in
+      Hashtbl.iter
+        (fun name result ->
+          match Analyze.OLS.estimates result with
+          | Some [ est ] -> Printf.printf "  %-24s %8.1f ns/op\n" name est
+          | _ -> Printf.printf "  %-24s (no estimate)\n" name)
+        results)
+    tests
+
+(* ------------------------------------------------------------------ *)
+(* Headline summary (Section 6 discussion claims). *)
+
+let summary () =
+  print_endline "\n=== Headline comparison vs the paper's claims ===";
+  let find key = List.assoc_opt key !collected in
+  let gain key base other =
+    match find key with
+    | None -> None
+    | Some series -> (
+        match
+          ( List.find_opt (fun s -> s.impl = base) series,
+            List.find_opt (fun s -> s.impl = other) series )
+        with
+        | Some b, Some o -> Some (best_gain b o)
+        | _ -> None)
+  in
+  let row name paper measured =
+    [ name; paper; (match measured with Some g -> Printf.sprintf "%.2fx" g | None -> "(skipped)") ]
+  in
+  Report.table ~title:"Peak speedups across the thread sweep"
+    ~columns:[ "comparison"; "paper"; "measured (best over threads)" ]
+    [
+      row "HoH list vs Harris (35/35)" "1.10-1.50x" (gain "fig2" "harris-list" "hoh-list");
+      row "VAS list vs Harris (35/35)" "1.10-1.50x" (gain "fig2" "harris-list" "vas-list");
+      row "HoH abtree vs LLX/SCX (35/35)" "up to 2x" (gain "fig6" "llx-abtree(4,8)" "hoh-abtree(4,8)");
+      row "HoH abtree vs LLX/SCX (15/15)" "up to 2x" (gain "fig7" "llx-abtree(4,8)" "hoh-abtree(4,8)");
+      row "tagged NOrec vs NOrec (vacation)" "up to 1.5x" (gain "fig8" "norec" "norec-tagged");
+    ]
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  if List.mem "quick" args then quick := true;
+  let args = List.filter (fun a -> a <> "quick") args in
+  let all = args = [] in
+  let want name = all || List.mem name args in
+  let t0 = Unix.gettimeofday () in
+  if want "fig2" || want "fig4" then fig2_fig4 ();
+  if want "fig5" then fig5 ();
+  if want "fig6" then fig6 ();
+  if want "fig7" then fig7 ();
+  if want "fig8" then fig8 ();
+  if want "spurious" then spurious ();
+  if want "ablation" then ablation ();
+  if want "micro" then micro ();
+  if want "summary" then summary ();
+  Printf.printf "\nTotal bench wall time: %.1f s\n" (Unix.gettimeofday () -. t0)

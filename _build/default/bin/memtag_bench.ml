@@ -1,0 +1,67 @@
+(* CLI front-end: run a single set benchmark with explicit parameters.
+   The full figure-reproduction harness lives in bench/main.ml; this binary
+   is for ad-hoc exploration (one data point, one implementation). *)
+
+open Cmdliner
+
+module Abtree_params = struct
+  let a = 4
+  let b = 8
+end
+
+module Abtree_hoh = Mt_abtree.Abtree_hoh.Make (Abtree_params)
+module Abtree_llx = Mt_abtree.Abtree_llx.Make (Abtree_params)
+
+let impls : (string * (module Mt_list.Set_intf.SET)) list =
+  [
+    ("harris", (module Mt_list.Harris_list));
+    ("vas", (module Mt_list.Vas_list));
+    ("hoh", (module Mt_list.Hoh_list));
+    ("abtree-llx", (module Abtree_llx));
+    ("abtree-hoh", (module Abtree_hoh));
+  ]
+
+let run impl_names threads key_range insert_pct delete_pct measure seed all verbose =
+  let chosen =
+    if all then impls
+    else
+      List.map
+        (fun n ->
+          match List.assoc_opt n impls with
+          | Some m -> (n, m)
+          | None ->
+              Printf.eprintf "unknown implementation %S\n" n;
+              exit 2)
+        impl_names
+  in
+  let spec =
+    Mt_workload.Spec.make ~key_range ~insert_pct ~delete_pct ~threads
+      ~measure_cycles:measure ~seed ()
+  in
+  List.iter
+    (fun (_, m) ->
+      let r = Mt_workload.Driver.run_set m spec in
+      Format.printf "%a@." Mt_workload.Driver.pp_result r;
+      if verbose then Format.printf "  %a@." Mt_sim.Stats.pp r.Mt_workload.Driver.stats)
+    chosen
+
+let () =
+  let impl =
+    Arg.(value & opt_all string [ "hoh" ] & info [ "i"; "impl" ] ~doc:"Implementation (harris|vas|hoh); repeatable.")
+  in
+  let all = Arg.(value & flag & info [ "a"; "all" ] ~doc:"Run every implementation.") in
+  let threads = Arg.(value & opt int 8 & info [ "t"; "threads" ] ~doc:"Thread count.") in
+  let range = Arg.(value & opt int 1024 & info [ "r"; "range" ] ~doc:"Key range.") in
+  let ins = Arg.(value & opt int 35 & info [ "insert" ] ~doc:"Insert percentage.") in
+  let del = Arg.(value & opt int 35 & info [ "delete" ] ~doc:"Delete percentage.") in
+  let measure =
+    Arg.(value & opt int 150_000 & info [ "cycles" ] ~doc:"Measured simulated cycles.")
+  in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Random seed.") in
+  let verbose = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print full counters.") in
+  let cmd =
+    Cmd.v
+      (Cmd.info "memtag_bench" ~doc:"Run one MemTags set benchmark data point")
+      Term.(const run $ impl $ threads $ range $ ins $ del $ measure $ seed $ all $ verbose)
+  in
+  exit (Cmd.eval cmd)

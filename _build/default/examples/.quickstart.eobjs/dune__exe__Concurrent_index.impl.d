@@ -1,0 +1,1 @@
+examples/concurrent_index.ml: Config Ctx Harness List Machine Mt_abtree Mt_core Mt_sim Printf Prng Stats

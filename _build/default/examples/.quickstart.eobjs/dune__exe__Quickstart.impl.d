@@ -1,0 +1,1 @@
+examples/quickstart.ml: Config Ctx Harness List Machine Mt_core Mt_list Mt_sim Printf Prng Runtime Stats

@@ -1,0 +1,1 @@
+examples/reservation_system.ml: Config Harness Machine Mt_core Mt_sim Mt_stamp Mt_stm Printf

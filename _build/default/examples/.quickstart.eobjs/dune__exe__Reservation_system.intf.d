@@ -1,0 +1,1 @@
+examples/reservation_system.mli:

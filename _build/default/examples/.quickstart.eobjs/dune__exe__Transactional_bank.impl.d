@@ -1,0 +1,1 @@
+examples/transactional_bank.ml: Config Ctx Harness Machine Mt_core Mt_sim Mt_stm Printf Prng

@@ -1,0 +1,1 @@
+examples/transactional_bank.mli:

@@ -1,0 +1,1 @@
+lib/abtree/abtree_hoh.ml: Array Checker Ctx List Mt_core Mt_sim Node_desc Printf

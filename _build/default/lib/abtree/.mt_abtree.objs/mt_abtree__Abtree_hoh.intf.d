@@ -1,0 +1,1 @@
+lib/abtree/abtree_hoh.mli: Checker Mt_core Mt_list Mt_sim

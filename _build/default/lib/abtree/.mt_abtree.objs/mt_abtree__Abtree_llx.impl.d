@@ -1,0 +1,1 @@
+lib/abtree/abtree_llx.ml: Array Checker Ctx List Mt_core Mt_llxscx Mt_sim Node_desc Printf

@@ -1,0 +1,1 @@
+lib/abtree/abtree_llx.mli: Checker Mt_list Mt_sim

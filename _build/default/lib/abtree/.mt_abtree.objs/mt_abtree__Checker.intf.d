@@ -1,0 +1,1 @@
+lib/abtree/checker.mli:

@@ -1,0 +1,1 @@
+lib/abtree/node_desc.ml: Array Format List String

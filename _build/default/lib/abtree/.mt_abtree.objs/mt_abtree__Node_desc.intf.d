@@ -1,0 +1,1 @@
+lib/abtree/node_desc.mli: Format

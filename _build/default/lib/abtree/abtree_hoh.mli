@@ -1,0 +1,36 @@
+(** The HoH-tagged relaxed (a,b)-tree (paper Section 5.1, Algorithms 3-5).
+
+    Leaf-oriented: all keys live in leaves; internal nodes route. Nodes are
+    immutable except for internal child pointers, which are swung {e in
+    place} by a single IAS per update — the paper's headline property:
+    atomic node modification without validating the whole root-to-leaf
+    path, with exactly one atomic pointer change, and minimal coherence
+    traffic.
+
+    Every operation that needs to modify the tree performs a hand-over-hand
+    tagged descent keeping a window of three ancestors (grandparent,
+    parent, current) tagged, per the paper's Observation that no operation
+    removes a chain longer than two nodes. All node removals go through IAS
+    (the Synchronization Rule), which transiently "marks" removed nodes by
+    invalidating them at every core that has them tagged.
+
+    Rebalancing repeatedly fixes the first violation on the search path:
+    RootUntag, RootAbsorb, AbsorbChild, PropagateTag, AbsorbSibling,
+    Distribute — until the path is violation-free. *)
+
+module Make (_ : sig
+  val a : int
+  (** minimum degree; [a >= 2] *)
+
+  val b : int
+  (** maximum degree; [b >= 2*a - 1] *)
+end) : sig
+  include Mt_list.Set_intf.SET
+
+  (** Atomic range snapshot [\[lo, hi\]] via tag-validated leaf walks;
+      [None] when the range spans more lines than [Max_Tags] allows. *)
+  val range : Mt_core.Ctx.t -> t -> lo:int -> hi:int -> int list option
+
+  (** Structural invariant check on a quiescent machine. *)
+  val check : Mt_sim.Machine.t -> t -> Checker.report
+end

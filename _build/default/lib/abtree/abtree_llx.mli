@@ -1,0 +1,32 @@
+(** The baseline relaxed (a,b)-tree built on LLX/SCX, after Brown's thesis
+    chapter 8 — the implementation the paper's Figures 6 and 7 compare
+    MemTags against.
+
+    Same tree shape and rebalancing steps as {!Abtree_hoh}, but
+    synchronized with the Brown–Ellen–Ruppert primitives: every update
+    LLXes the involved nodes, allocates an SCX-record, freezes each node
+    with a CAS on its info word, marks removed nodes, swings one child
+    pointer and commits — the per-update overhead that a single IAS
+    replaces in the tagged variant. *)
+
+module Make (_ : sig
+  val a : int
+  val b : int
+end) : sig
+  include Mt_list.Set_intf.SET
+
+  (** Structural invariant check on a quiescent machine. *)
+  val check : Mt_sim.Machine.t -> t -> Checker.report
+
+  (** Sentinel address (white-box tests only). *)
+  val sentinel_unsafe : t -> int
+end
+
+(** White-box hook: disable rebalancing in all existing instantiations
+    (tree grows unbalanced; set semantics must still hold). Tests only. *)
+module For_testing_rebalance : sig
+  val disable : unit -> unit
+
+  (** Invoked as [f step_name gp p u] after each committed rebalance SCX. *)
+  val on_step : (string -> int -> int -> int -> unit) ref
+end

@@ -1,0 +1,1 @@
+lib/core/ctx.ml: Machine Memory Mt_sim Prng Runtime

@@ -1,0 +1,1 @@
+lib/core/harness.ml: Ctx Machine Mt_sim Prng Runtime

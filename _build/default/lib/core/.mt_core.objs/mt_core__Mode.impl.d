@@ -1,0 +1,1 @@
+lib/core/mode.ml: Ctx Mt_sim

@@ -1,0 +1,85 @@
+open Mt_sim
+
+type addr = Memory.addr
+
+type t = { machine : Machine.t; core : int; prng : Prng.t }
+
+(* Fixed instruction cost of a heap allocation (bump allocator + header). *)
+let alloc_cycles = 8
+
+let make machine ~core ~prng =
+  if core < 0 || core >= Machine.num_cores machine then
+    invalid_arg "Ctx.make: core id out of range";
+  { machine; core; prng }
+
+let machine t = t.machine
+let core t = t.core
+let prng t = t.prng
+let now _t = Runtime.now ()
+
+let charge t lat =
+  if lat > 0 then begin
+    (Machine.stats t.machine ~core:t.core).busy_cycles <-
+      (Machine.stats t.machine ~core:t.core).busy_cycles + lat;
+    Runtime.stall lat
+  end
+
+let work t n = if n > 0 then charge t n
+
+let alloc t ~words =
+  let a = Machine.alloc t.machine ~words in
+  charge t alloc_cycles;
+  a
+
+let read t addr =
+  let v, lat = Machine.read t.machine ~core:t.core addr in
+  charge t lat;
+  v
+
+let write t addr v =
+  let lat = Machine.write t.machine ~core:t.core addr v in
+  charge t lat
+
+let cas t addr ~expected ~desired =
+  let ok, lat = Machine.cas t.machine ~core:t.core addr ~expected ~desired in
+  charge t lat;
+  ok
+
+let faa t addr delta =
+  let old, lat = Machine.faa t.machine ~core:t.core addr delta in
+  charge t lat;
+  old
+
+let add_tag t addr ~words =
+  let lat = Machine.add_tag t.machine ~core:t.core addr ~words in
+  charge t lat
+
+let add_tag_read t addr ~words =
+  let v, lat = Machine.add_tag_read t.machine ~core:t.core addr ~words in
+  charge t lat;
+  v
+
+let remove_tag t addr ~words =
+  let lat = Machine.remove_tag t.machine ~core:t.core addr ~words in
+  charge t lat
+
+let validate t =
+  let ok, lat = Machine.validate t.machine ~core:t.core in
+  charge t lat;
+  ok
+
+let clear_tag_set t =
+  let lat = Machine.clear_tag_set t.machine ~core:t.core in
+  charge t lat
+
+let vas t addr v =
+  let ok, lat = Machine.vas t.machine ~core:t.core addr v in
+  charge t lat;
+  ok
+
+let ias t addr v =
+  let ok, lat = Machine.ias t.machine ~core:t.core addr v in
+  charge t lat;
+  ok
+
+let tag_count t = Machine.tag_count t.machine ~core:t.core

@@ -1,0 +1,53 @@
+(** Per-thread handle to the simulated machine: the MemTags programming API.
+
+    A [Ctx.t] binds a fiber to a simulated core. Every operation goes
+    through the machine's timing model and stalls the calling fiber for the
+    cycles it cost, so algorithmic synchronization choices translate
+    directly into simulated throughput.
+
+    Operations mirror the paper's Section 3 primitives: [add_tag],
+    [remove_tag], [validate], [vas], [ias], [clear_tag_set], alongside the
+    conventional [read]/[write]/[cas] that baseline data structures use. *)
+
+type t
+
+type addr = Mt_sim.Memory.addr
+
+(** [make machine ~core ~prng] — normally done by {!Harness}. *)
+val make : Mt_sim.Machine.t -> core:int -> prng:Mt_sim.Prng.t -> t
+
+val machine : t -> Mt_sim.Machine.t
+val core : t -> int
+val prng : t -> Mt_sim.Prng.t
+
+(** Current simulated time of the calling fiber, in cycles. *)
+val now : t -> int
+
+(** [work t n] charges [n] cycles of local computation (instruction cost
+    of non-memory work such as key comparisons or node construction). *)
+val work : t -> int -> unit
+
+(** [alloc t ~words] allocates zeroed, line-aligned simulated memory and
+    charges a small allocator cost. *)
+val alloc : t -> words:int -> addr
+
+(** {1 Plain shared-memory operations} *)
+
+val read : t -> addr -> int
+val write : t -> addr -> int -> unit
+val cas : t -> addr -> expected:int -> desired:int -> bool
+val faa : t -> addr -> int -> int
+
+(** {1 MemTags operations} *)
+
+val add_tag : t -> addr -> words:int -> unit
+
+(** [add_tag_read t addr ~words] tags the range and returns the word at
+    [addr] in one access (a tagged load). *)
+val add_tag_read : t -> addr -> words:int -> int
+val remove_tag : t -> addr -> words:int -> unit
+val validate : t -> bool
+val clear_tag_set : t -> unit
+val vas : t -> addr -> int -> bool
+val ias : t -> addr -> int -> bool
+val tag_count : t -> int

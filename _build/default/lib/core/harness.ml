@@ -1,0 +1,20 @@
+open Mt_sim
+
+let exec machine ?(seed = 0x5EED) ~threads f =
+  if threads <= 0 || threads > Machine.num_cores machine then
+    invalid_arg "Harness.exec: bad thread count";
+  let master = Prng.create ~seed in
+  let rt = Runtime.create () in
+  for core = 0 to threads - 1 do
+    let prng = Prng.split master in
+    Runtime.spawn rt (fun () -> f (Ctx.make machine ~core ~prng))
+  done;
+  Runtime.run rt;
+  Runtime.now ()
+
+let exec1 machine ?(seed = 0x5EED) f =
+  let result = ref None in
+  let (_ : int) =
+    exec machine ~seed ~threads:1 (fun ctx -> result := Some (f ctx))
+  in
+  match !result with Some r -> r | None -> assert false

@@ -1,0 +1,25 @@
+(** Running simulated thread groups.
+
+    A typical experiment builds the machine once, populates the data
+    structure in a single-fiber phase, resets the counters, then runs the
+    measured multi-thread phase:
+
+    {[
+      let m = Machine.create cfg in
+      let set = Harness.exec1 m (fun ctx -> My_set.create ctx) in
+      Harness.exec m ~threads:1 (fun ctx -> populate ctx set);
+      Machine.reset_stats m;
+      let d = Harness.exec m ~threads:8 (fun ctx -> workload ctx set) in
+      ...
+    ]} *)
+
+(** [exec machine ?seed ~threads f] runs [threads] fibers, fiber [i] pinned
+    to core [i] with its own PRNG stream derived from [seed]. Returns the
+    simulated duration in cycles (the time the last fiber finished).
+    Raises [Invalid_argument] if [threads] exceeds the machine's cores or
+    is not positive. *)
+val exec : Mt_sim.Machine.t -> ?seed:int -> threads:int -> (Ctx.t -> unit) -> int
+
+(** [exec1 machine f] runs [f] as a single fiber on core 0 and returns its
+    result (convenience for setup phases that produce a value). *)
+val exec1 : Mt_sim.Machine.t -> ?seed:int -> (Ctx.t -> 'a) -> 'a

@@ -1,0 +1,1 @@
+lib/kcas_ds/kcas.ml: Ctx List Mt_core Mt_sim

@@ -1,0 +1,1 @@
+lib/kcas_ds/kcas.mli: Mt_core

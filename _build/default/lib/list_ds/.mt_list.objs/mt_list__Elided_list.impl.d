@@ -1,0 +1,1 @@
+lib/list_ds/elided_list.ml: Ctx Mode Mt_core Mt_sim Node

@@ -1,0 +1,1 @@
+lib/list_ds/elided_list.mli: Mt_sim Set_intf

@@ -1,0 +1,1 @@
+lib/list_ds/harris_list.ml: Ctx Mt_core Mt_sim Node

@@ -1,0 +1,1 @@
+lib/list_ds/harris_list.mli: Set_intf

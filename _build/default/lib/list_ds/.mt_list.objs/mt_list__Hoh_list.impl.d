@@ -1,0 +1,1 @@
+lib/list_ds/hoh_list.ml: Ctx List Mt_core Mt_sim Node

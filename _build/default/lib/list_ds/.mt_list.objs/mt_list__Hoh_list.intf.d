@@ -1,0 +1,1 @@
+lib/list_ds/hoh_list.mli: Mt_core Set_intf

@@ -1,0 +1,1 @@
+lib/list_ds/node.ml: Ctx List Machine Memory Mt_core Mt_sim

@@ -1,0 +1,1 @@
+lib/list_ds/set_intf.ml: Mt_core Mt_sim

@@ -1,0 +1,1 @@
+lib/list_ds/vas_list.mli: Set_intf

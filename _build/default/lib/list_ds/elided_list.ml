@@ -1,0 +1,167 @@
+open Mt_core
+
+type t = {
+  head : Ctx.addr;
+  mode : Mode.t;
+  lock : Ctx.addr;
+  slow_runs : Ctx.addr;  (* diagnostic counter, in simulated memory *)
+}
+
+let name = "elided-hoh-list"
+
+(* Consecutive fast-path failures before giving up on the fast path. *)
+let threshold = 8
+
+let create ctx =
+  let tail = Node.alloc ctx ~key:max_int ~next:Mt_sim.Memory.null ~marked:false in
+  let head = Node.alloc ctx ~key:min_int ~next:tail ~marked:false in
+  let machine = Ctx.machine ctx in
+  { head; mode = Mode.create machine; lock = Ctx.alloc ctx ~words:1;
+    slow_runs = Ctx.alloc ctx ~words:1 }
+
+let slow_path_count machine t = Mt_sim.Machine.peek machine t.slow_runs
+
+exception Restart
+exception Mode_slow
+
+(* ------------------------------------------------------------------ *)
+(* Fast path: the HoH algorithm, with the mode line in the tag set. *)
+
+(* Tag the mode line and check it reads FAST. A SLOW reading is not a
+   fast-path failure: the caller waits for the mode to return to FAST
+   rather than escalating (otherwise one fallback would cascade into a
+   fallback stampede). *)
+let arm_mode ctx t =
+  if Ctx.add_tag_read ctx (Mode.addr t.mode) ~words:1 <> Mode.fast then raise Mode_slow
+
+let locate ctx t k =
+  arm_mode ctx t;
+  let pred = t.head in
+  let (_ : int) = Node.tagged_key ctx pred in
+  let curr = Node.ptr_of (Node.next_packed ctx pred) in
+  let ck = Node.tagged_key ctx curr in
+  if not (Ctx.validate ctx) then raise Restart;
+  let rec advance pred curr ck =
+    if ck >= k then (pred, curr, ck)
+    else begin
+      let succ = Node.ptr_of (Node.next_packed ctx curr) in
+      Ctx.remove_tag ctx pred ~words:Node.words;
+      let sk = Node.tagged_key ctx succ in
+      if not (Ctx.validate ctx) then raise Restart;
+      advance curr succ sk
+    end
+  in
+  advance pred curr ck
+
+let fast_insert ctx t k =
+  let pred, curr, ck = locate ctx t k in
+  if ck = k then Some false
+  else begin
+    let node = Node.alloc ctx ~key:k ~next:curr ~marked:false in
+    if Ctx.vas ctx (pred + Node.next_off) (Node.pack node ~marked:false) then Some true
+    else raise Restart
+  end
+
+let fast_delete ctx t k =
+  let pred, curr, ck = locate ctx t k in
+  if ck <> k then Some false
+  else begin
+    let succ = Node.ptr_of (Node.next_packed ctx curr) in
+    if Ctx.ias ctx (pred + Node.next_off) (Node.pack succ ~marked:false) then Some true
+    else raise Restart
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Slow path: plain sequential code under the global lock, with the mode
+   flipped to SLOW so that no fast-path operation can commit meanwhile. *)
+
+let with_lock ctx t f =
+  let rec acquire () =
+    if not (Ctx.cas ctx t.lock ~expected:0 ~desired:1) then begin
+      Ctx.work ctx 8;
+      acquire ()
+    end
+  in
+  acquire ();
+  Mode.set_slow ctx t.mode;
+  let (_ : int) = Ctx.faa ctx t.slow_runs 1 in
+  let result = f () in
+  Mode.set_fast ctx t.mode;
+  Ctx.write ctx t.lock 0;
+  result
+
+let slow_locate ctx t k =
+  let rec go pred curr =
+    let ck = Node.key ctx curr in
+    if ck >= k then (pred, curr, ck)
+    else go curr (Node.ptr_of (Node.next_packed ctx curr))
+  in
+  let first = Node.ptr_of (Node.next_packed ctx t.head) in
+  go t.head first
+
+let slow_insert ctx t k () =
+  let pred, curr, ck = slow_locate ctx t k in
+  if ck = k then false
+  else begin
+    let node = Node.alloc ctx ~key:k ~next:curr ~marked:false in
+    Ctx.write ctx (pred + Node.next_off) (Node.pack node ~marked:false);
+    true
+  end
+
+let slow_delete ctx t k () =
+  let pred, curr, ck = slow_locate ctx t k in
+  if ck <> k then false
+  else begin
+    let succ = Node.ptr_of (Node.next_packed ctx curr) in
+    Ctx.write ctx (pred + Node.next_off) (Node.pack succ ~marked:false);
+    true
+  end
+
+(* ------------------------------------------------------------------ *)
+
+(* Run [fast] with bounded retries, then fall back to [slow] under the
+   lock. When the mode reads SLOW we also wait-or-fallback immediately. *)
+let elide ctx t ~fast ~slow =
+  let rec wait_fast () =
+    if not (Mode.is_fast ctx t.mode) then begin
+      Ctx.work ctx 32;
+      wait_fast ()
+    end
+  in
+  let rec attempt fails =
+    if fails >= threshold then begin
+      Ctx.clear_tag_set ctx;
+      with_lock ctx t slow
+    end
+    else
+      match fast ctx t with
+      | Some result ->
+          Ctx.clear_tag_set ctx;
+          result
+      | None ->
+          Ctx.clear_tag_set ctx;
+          attempt (fails + 1)
+      | exception Restart ->
+          Ctx.clear_tag_set ctx;
+          attempt (fails + 1)
+      | exception Mode_slow ->
+          Ctx.clear_tag_set ctx;
+          wait_fast ();
+          attempt fails
+  in
+  attempt 0
+
+let insert ctx t k = elide ctx t ~fast:(fun ctx t -> fast_insert ctx t k) ~slow:(slow_insert ctx t k)
+
+let delete ctx t k = elide ctx t ~fast:(fun ctx t -> fast_delete ctx t k) ~slow:(slow_delete ctx t k)
+
+(* Plain traversal; linearizable for the same frozen-successor reason as in
+   Hoh_list: neither fast nor slow deletes ever write the removed node. *)
+let contains ctx t k =
+  let rec go node =
+    let ck = Node.key ctx node in
+    if ck < k then go (Node.ptr_of (Node.next_packed ctx node)) else ck = k
+  in
+  go (Node.ptr_of (Node.next_packed ctx t.head))
+
+let to_list_unsafe machine t = Node.to_list_unsafe machine t.head

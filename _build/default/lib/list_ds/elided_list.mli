@@ -1,0 +1,19 @@
+(** The HoH-tagged list paired with the paper's fall-back path (Section 3):
+    hardware lock elision style.
+
+    Every fast-path operation begins by tagging the shared {!Mt_core.Mode}
+    line (checking it reads FAST), so the line is part of every validation
+    and VAS/IAS. An operation that fails too many consecutive validations
+    acquires a global lock, flips the mode to SLOW — which invalidates the
+    mode line at every core and thereby aborts all in-flight fast-path
+    operations — runs a plain sequential version of the operation, flips
+    back to FAST and releases. Because tags are advisory (they can fail
+    spuriously forever, e.g. when [Max_Tags] is too small for the window),
+    this fallback is what makes the structure {e live} on any
+    configuration. *)
+
+include Set_intf.SET
+
+(** Number of slow-path (fallback) executions so far (diagnostics;
+    quiescent machine). *)
+val slow_path_count : Mt_sim.Machine.t -> t -> int

@@ -1,0 +1,83 @@
+open Mt_core
+
+type t = { head : Ctx.addr }
+
+let name = "harris-list"
+
+let create ctx =
+  let tail = Node.alloc ctx ~key:max_int ~next:Mt_sim.Memory.null ~marked:false in
+  let head = Node.alloc ctx ~key:min_int ~next:tail ~marked:false in
+  { head }
+
+(* [search ctx t k] returns [(pred, curr, curr_key)] with
+   [pred.key < k <= curr_key] and both nodes unmarked when observed.
+   Physically unlinks any marked nodes it passes (Michael's helping). *)
+let rec search ctx t k =
+  let rec advance pred curr =
+    let curr_next = Node.next_packed ctx curr in
+    if Node.is_marked curr_next then begin
+      let succ = Node.ptr_of curr_next in
+      if
+        Ctx.cas ctx
+          (pred + Node.next_off)
+          ~expected:(Node.pack curr ~marked:false)
+          ~desired:(Node.pack succ ~marked:false)
+      then advance pred succ
+      else search ctx t k
+    end
+    else begin
+      let ck = Node.key ctx curr in
+      if ck >= k then (pred, curr, ck) else advance curr (Node.ptr_of curr_next)
+    end
+  in
+  let first = Node.ptr_of (Node.next_packed ctx t.head) in
+  advance t.head first
+
+let rec insert ctx t k =
+  let pred, curr, ck = search ctx t k in
+  if ck = k then false
+  else begin
+    let node = Node.alloc ctx ~key:k ~next:curr ~marked:false in
+    if
+      Ctx.cas ctx
+        (pred + Node.next_off)
+        ~expected:(Node.pack curr ~marked:false)
+        ~desired:(Node.pack node ~marked:false)
+    then true
+    else insert ctx t k
+  end
+
+let rec delete ctx t k =
+  let pred, curr, ck = search ctx t k in
+  if ck <> k then false
+  else begin
+    let curr_next = Node.next_packed ctx curr in
+    if Node.is_marked curr_next then delete ctx t k
+    else if
+      (* Logical deletion: set the mark bit on curr's next pointer. *)
+      Ctx.cas ctx
+        (curr + Node.next_off)
+        ~expected:curr_next
+        ~desired:(Node.pack (Node.ptr_of curr_next) ~marked:true)
+    then begin
+      (* Best-effort physical unlink; traversals will finish the job. *)
+      ignore
+        (Ctx.cas ctx
+           (pred + Node.next_off)
+           ~expected:(Node.pack curr ~marked:false)
+           ~desired:(Node.pack (Node.ptr_of curr_next) ~marked:false));
+      true
+    end
+    else delete ctx t k
+  end
+
+(* Wait-free membership test: pure traversal, no helping. *)
+let contains ctx t k =
+  let rec go node =
+    let ck = Node.key ctx node in
+    if ck < k then go (Node.ptr_of (Node.next_packed ctx node))
+    else ck = k && not (Node.is_marked (Node.next_packed ctx node))
+  in
+  go (Node.ptr_of (Node.next_packed ctx t.head))
+
+let to_list_unsafe machine t = Node.to_list_unsafe machine t.head

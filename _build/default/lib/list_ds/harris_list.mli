@@ -1,0 +1,8 @@
+(** The lock-free Harris–Michael linked list (the paper's baseline).
+
+    Pointer marking: the low bit of a node's [next] field marks the node as
+    logically deleted. Traversals physically unlink marked nodes with CAS.
+    This is the "highly optimized linked list" the paper's Figures 2, 4 and
+    5 compare against. *)
+
+include Set_intf.SET

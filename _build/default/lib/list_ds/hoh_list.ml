@@ -1,0 +1,145 @@
+open Mt_core
+
+type t = { head : Ctx.addr }
+
+let name = "hoh-list"
+
+let create ctx =
+  let tail = Node.alloc ctx ~key:max_int ~next:Mt_sim.Memory.null ~marked:false in
+  let head = Node.alloc ctx ~key:min_int ~next:tail ~marked:false in
+  { head }
+
+exception Restart
+
+(* LOCATE (Algorithm 2): hand-over-hand tagging. Returns [(pred, curr,
+   curr_key)] with [pred.key < k <= curr_key]; [pred] and [curr] remain
+   tagged, and the last successful validate proved both reachable from the
+   head. The caller must eventually [clear_tag_set]. *)
+let rec locate ctx t k =
+  match
+    let pred = t.head in
+    (* Tag the head (its key is -inf), then a tagged load of curr's key. *)
+    let (_ : int) = Node.tagged_key ctx pred in
+    let curr = Node.ptr_of (Node.next_packed ctx pred) in
+    let ck = Node.tagged_key ctx curr in
+    if not (Ctx.validate ctx) then raise Restart;
+    (* Window invariant: tags = {pred, curr}, both validated in the list,
+       and curr was read from pred.next while pred was tagged. The window
+       can shrink to {curr} while extending: the Synchronization Rule (a
+       delete IAS-invalidates the nodes it removes) means a deletion of
+       curr kills our tag on curr directly — the pred tag is not needed to
+       detect it. *)
+    let rec advance pred curr ck =
+      if ck >= k then (pred, curr, ck)
+      else begin
+        let succ = Node.ptr_of (Node.next_packed ctx curr) in
+        Ctx.remove_tag ctx pred ~words:Node.words;
+        let sk = Node.tagged_key ctx succ in
+        if not (Ctx.validate ctx) then raise Restart;
+        advance curr succ sk
+      end
+    in
+    advance pred curr ck
+  with
+  | result -> result
+  | exception Restart ->
+      Ctx.clear_tag_set ctx;
+      locate ctx t k
+
+let rec insert ctx t k =
+  let pred, curr, ck = locate ctx t k in
+  if ck = k then begin
+    Ctx.clear_tag_set ctx;
+    false
+  end
+  else begin
+    let node = Node.alloc ctx ~key:k ~next:curr ~marked:false in
+    if Ctx.vas ctx (pred + Node.next_off) (Node.pack node ~marked:false) then begin
+      Ctx.clear_tag_set ctx;
+      true
+    end
+    else begin
+      Ctx.clear_tag_set ctx;
+      insert ctx t k
+    end
+  end
+
+let rec delete ctx t k =
+  let pred, curr, ck = locate ctx t k in
+  if ck <> k then begin
+    Ctx.clear_tag_set ctx;
+    false
+  end
+  else begin
+    let succ = Node.ptr_of (Node.next_packed ctx curr) in
+    (* IAS, not VAS: invalidate the deleted node (and pred) at all cores so
+       concurrent traversals tagging curr fail their next validation. *)
+    if Ctx.ias ctx (pred + Node.next_off) (Node.pack succ ~marked:false) then begin
+      Ctx.clear_tag_set ctx;
+      true
+    end
+    else begin
+      Ctx.clear_tag_set ctx;
+      delete ctx t k
+    end
+  end
+
+(* Plain untagged traversal. Linearizable without tags or marks because a
+   HoH delete never writes the node it deletes: an unlinked node's next
+   pointer is frozen forever, so a traversal wandering through a
+   concurrently-deleted region follows pointers that were valid at a time
+   overlapping this operation — the classic frozen-successor argument. This
+   matches the paper's Section 6 note that read operations "remain the
+   same" as in the original structures. A fully tagged search is available
+   as {!contains_tagged}. *)
+let contains ctx t k =
+  let rec go node =
+    let ck = Node.key ctx node in
+    if ck < k then go (Node.ptr_of (Node.next_packed ctx node)) else ck = k
+  in
+  go (Node.ptr_of (Node.next_packed ctx t.head))
+
+(* SEARCH exactly as in Algorithm 2: locate with HoH tagging. *)
+let contains_tagged ctx t k =
+  let _, _, ck = locate ctx t k in
+  (* The tagging inside LOCATE established a time when curr was in the
+     list; the key itself is immutable. *)
+  Ctx.clear_tag_set ctx;
+  ck = k
+
+let to_list_unsafe machine t = Node.to_list_unsafe machine t.head
+
+module For_testing = struct
+  let locate = locate
+end
+
+let range ctx t ~lo ~hi =
+  let max_tags = (Mt_sim.Machine.cfg (Ctx.machine ctx)).Mt_sim.Config.max_tags in
+  let rec attempt () =
+    match
+      let _, curr, ck = locate ctx t lo in
+      (* Keep every node of the snapshot tagged; extend hand-over-hand but
+         without untagging, validating after each extension. *)
+      let rec collect node nk acc =
+        if nk > hi then List.rev acc
+        else if Ctx.tag_count ctx >= max_tags then raise Exit
+        else begin
+          let succ = Node.ptr_of (Node.next_packed ctx node) in
+          let sk = Node.tagged_key ctx succ in
+          if not (Ctx.validate ctx) then raise Restart;
+          collect succ sk (nk :: acc)
+        end
+      in
+      collect curr ck []
+    with
+    | keys ->
+        Ctx.clear_tag_set ctx;
+        Some keys
+    | exception Restart ->
+        Ctx.clear_tag_set ctx;
+        attempt ()
+    | exception Exit ->
+        Ctx.clear_tag_set ctx;
+        None
+  in
+  attempt ()

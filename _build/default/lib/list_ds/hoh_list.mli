@@ -1,0 +1,30 @@
+(** The hand-over-hand tagged linked list (paper Algorithm 2).
+
+    No mark bits at all: traversals keep tags on a sliding window of
+    [(pred, curr)] — readers never write — and deletes perform the pointer
+    swing with invalidate-and-swap, which invalidates the deleted node at
+    every core that has it tagged ("transient marking"). This aborts any
+    concurrent traversal standing on the deleted node, which is exactly the
+    Figure 1 counterexample that plain VAS cannot prevent. *)
+
+include Set_intf.SET
+
+(** [range ctx t ~lo ~hi] returns an atomic snapshot of the keys in
+    [\[lo, hi\]] by keeping every node of the range tagged and validating
+    at each extension (the paper's "cheap lock-free snapshots"). Returns
+    [None] if the range cannot fit in the tag set ([Max_Tags]). *)
+val range : Mt_core.Ctx.t -> t -> lo:int -> hi:int -> int list option
+
+(** SEARCH exactly as written in the paper's Algorithm 2: a fully
+    HoH-tagged locate. [contains] itself uses a plain untagged traversal,
+    which is linearizable because deleted nodes are frozen (see the
+    implementation comment); the tagged variant is kept for comparison and
+    for the ablation bench. *)
+val contains_tagged : Mt_core.Ctx.t -> t -> int -> bool
+
+(** Internals exposed for white-box tests (e.g. reproducing Figure 1). *)
+module For_testing : sig
+  (** [locate ctx t k] returns [(pred, curr, curr_key)] and leaves [pred]
+      and [curr] tagged; the caller must [clear_tag_set]. *)
+  val locate : Mt_core.Ctx.t -> t -> int -> Mt_core.Ctx.addr * Mt_core.Ctx.addr * int
+end

@@ -1,0 +1,47 @@
+(** Shared node layout and pointer packing for the list variants.
+
+    A node occupies one cache line: word 0 is the key, word 1 the packed
+    next pointer. In the marking-based variants (Harris–Michael, VAS) the
+    low bit of the packed pointer is the mark bit; the HoH variant always
+    stores it as 0. Packing leaves 61 bits for word addresses, far more
+    than any simulation uses. *)
+
+let words = 2
+let key_off = 0
+let next_off = 1
+
+let pack ptr ~marked = (ptr lsl 1) lor (if marked then 1 else 0)
+let ptr_of packed = packed asr 1
+let is_marked packed = packed land 1 = 1
+
+open Mt_core
+
+(* [alloc ctx k next] builds a fresh node (its own cache line). *)
+let alloc ctx ~key ~next ~marked =
+  let node = Ctx.alloc ctx ~words in
+  Ctx.write ctx (node + key_off) key;
+  Ctx.write ctx (node + next_off) (pack next ~marked);
+  node
+
+let key ctx node = Ctx.read ctx (node + key_off)
+let next_packed ctx node = Ctx.read ctx (node + next_off)
+
+(* Tagged loads: tag the node's line and return a field in one access —
+   the fused "AddTag(x, sizeof(node)); read x" pattern. *)
+let tagged_key ctx node = Ctx.add_tag_read ctx (node + key_off) ~words
+let tagged_next ctx node = Ctx.add_tag_read ctx (node + next_off) ~words:1
+
+(* Direct (timing-free) list walk for test oracles. *)
+let to_list_unsafe machine head =
+  let open Mt_sim in
+  let rec go node acc =
+    if node = Memory.null then List.rev acc
+    else
+      let k = Machine.peek machine (node + key_off) in
+      let nx = Machine.peek machine (node + next_off) in
+      let acc =
+        if k = min_int || k = max_int || is_marked nx then acc else k :: acc
+      in
+      go (ptr_of nx) acc
+  in
+  go head []

@@ -1,0 +1,32 @@
+(** Common signature for every concurrent ordered-set implementation in this
+    repository (lists and trees alike), as consumed by the workload driver
+    in [lib/workload].
+
+    Keys are OCaml ints strictly between [min_int] and [max_int] (the
+    sentinel keys). All operations must be called from within a simulated
+    fiber (they stall). *)
+
+module type SET = sig
+  type t
+
+  (** Short human-readable name used in benchmark tables. *)
+  val name : string
+
+  (** [create ctx] builds an empty set (sentinels only). *)
+  val create : Mt_core.Ctx.t -> t
+
+  (** [insert ctx t k] adds [k]; returns [false] if already present. *)
+  val insert : Mt_core.Ctx.t -> t -> int -> bool
+
+  (** [delete ctx t k] removes [k]; returns [false] if absent. *)
+  val delete : Mt_core.Ctx.t -> t -> int -> bool
+
+  (** [contains ctx t k] — membership test. *)
+  val contains : Mt_core.Ctx.t -> t -> int -> bool
+
+  (** [to_list_unsafe machine t] reads the set contents directly from
+      simulated memory, bypassing the timing model. Only meaningful when no
+      fibers are running (test oracles, invariant checks). Returns keys in
+      ascending order, sentinels excluded. *)
+  val to_list_unsafe : Mt_sim.Machine.t -> t -> int list
+end

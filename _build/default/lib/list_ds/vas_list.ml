@@ -1,0 +1,100 @@
+open Mt_core
+
+type t = { head : Ctx.addr }
+
+let name = "vas-list"
+
+let create ctx =
+  let tail = Node.alloc ctx ~key:max_int ~next:Mt_sim.Memory.null ~marked:false in
+  let head = Node.alloc ctx ~key:min_int ~next:tail ~marked:false in
+  { head }
+
+(* HELPIFNEEDED (Algorithm 1, lines 3-12): [curr] is marked; unlink it from
+   [pred] with tag + VAS. Always followed by a restart of LOCATE. *)
+let help ctx pred curr curr_next =
+  let pn = Node.tagged_next ctx pred in
+  if Node.is_marked pn || Node.ptr_of pn <> curr then Ctx.clear_tag_set ctx
+  else begin
+    let (_ : int) = Node.tagged_next ctx curr in
+    (* Marked nodes never change, so succ is the same for all helpers. *)
+    let succ = Node.ptr_of curr_next in
+    ignore (Ctx.vas ctx (pred + Node.next_off) (Node.pack succ ~marked:false));
+    Ctx.clear_tag_set ctx
+  end
+
+(* LOCATE (Algorithm 1, lines 13-21): untagged traversal; helping restarts
+   the search from scratch. Returns [(pred, curr, curr_key)]. *)
+let rec locate ctx t k =
+  let rec advance pred curr =
+    let curr_next = Node.next_packed ctx curr in
+    if Node.is_marked curr_next then begin
+      help ctx pred curr curr_next;
+      locate ctx t k
+    end
+    else begin
+      let ck = Node.key ctx curr in
+      if ck >= k then (pred, curr, ck) else advance curr (Node.ptr_of curr_next)
+    end
+  in
+  let first = Node.ptr_of (Node.next_packed ctx t.head) in
+  advance t.head first
+
+(* Tag pred and curr, then re-check that both are unmarked and adjacent
+   (Algorithm 1 lines 26-30 / 40-45). Returns [None] on conflict, otherwise
+   [Some curr_next]. *)
+let tag_and_check ctx pred curr =
+  let pn = Node.tagged_next ctx pred in
+  let cn = Node.tagged_next ctx curr in
+  if Node.is_marked pn || Node.is_marked cn || Node.ptr_of pn <> curr then begin
+    Ctx.clear_tag_set ctx;
+    None
+  end
+  else Some cn
+
+let rec insert ctx t k =
+  let pred, curr, ck = locate ctx t k in
+  if ck = k then false
+  else
+    match tag_and_check ctx pred curr with
+    | None -> insert ctx t k
+    | Some _curr_next ->
+        let node = Node.alloc ctx ~key:k ~next:curr ~marked:false in
+        if Ctx.vas ctx (pred + Node.next_off) (Node.pack node ~marked:false) then begin
+          Ctx.clear_tag_set ctx;
+          true
+        end
+        else begin
+          Ctx.clear_tag_set ctx;
+          insert ctx t k
+        end
+
+let rec delete ctx t k =
+  let pred, curr, ck = locate ctx t k in
+  if ck <> k then false
+  else
+    match tag_and_check ctx pred curr with
+    | None -> delete ctx t k
+    | Some curr_next ->
+        let succ = Node.ptr_of curr_next in
+        (* Logical deletion via VAS on curr's own next pointer. *)
+        if not (Ctx.vas ctx (curr + Node.next_off) (Node.pack succ ~marked:true))
+        then begin
+          Ctx.clear_tag_set ctx;
+          delete ctx t k
+        end
+        else begin
+          (* Best-effort unlink; our own mark write did not evict our tags. *)
+          ignore (Ctx.vas ctx (pred + Node.next_off) (Node.pack succ ~marked:false));
+          Ctx.clear_tag_set ctx;
+          true
+        end
+
+let contains ctx t k =
+  let rec go node =
+    let ck = Node.key ctx node in
+    if ck < k then go (Node.ptr_of (Node.next_packed ctx node))
+    else ck = k && not (Node.is_marked (Node.next_packed ctx node))
+  in
+  go (Node.ptr_of (Node.next_packed ctx t.head))
+
+let to_list_unsafe machine t = Node.to_list_unsafe machine t.head

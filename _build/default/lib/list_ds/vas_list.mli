@@ -1,0 +1,10 @@
+(** The VAS-based linked list (paper Algorithm 1).
+
+    Structurally identical to the Harris–Michael list (pointer marking is
+    retained), but every pointer swing — insert, logical delete, unlink,
+    helping — is performed with validate-and-swap after tagging [pred] and
+    [curr]. A conflicting concurrent update makes the VAS fail {e locally}
+    at the core, with no coherence traffic, instead of a failed CAS's
+    exclusive line acquisition. *)
+
+include Set_intf.SET

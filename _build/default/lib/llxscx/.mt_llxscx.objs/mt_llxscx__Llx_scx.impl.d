@@ -1,0 +1,1 @@
+lib/llxscx/llx_scx.ml: Array Ctx List Mt_core Mt_sim

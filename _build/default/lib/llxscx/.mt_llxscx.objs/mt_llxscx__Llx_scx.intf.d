@@ -1,0 +1,1 @@
+lib/llxscx/llx_scx.mli: Mt_core Mt_sim

@@ -1,0 +1,1 @@
+lib/sim/directory.ml: Hashtbl List

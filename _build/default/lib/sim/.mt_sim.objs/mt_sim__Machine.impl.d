@@ -1,0 +1,1 @@
+lib/sim/machine.ml: Array Cache Config Directory List Memory Memtag_unit Printf Stats

@@ -1,0 +1,1 @@
+lib/sim/memtag_unit.ml: Hashtbl

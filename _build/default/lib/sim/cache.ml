@@ -1,0 +1,90 @@
+type state = I | S | E | M
+
+type way = { mutable line : int; mutable st : state; mutable lru : int }
+
+type t = {
+  sets_log2 : int;
+  ways : int;
+  sets : way array array;
+  mutable tick : int;
+}
+
+let create ~sets_log2 ~ways =
+  if sets_log2 < 0 || ways <= 0 then invalid_arg "Cache.create";
+  {
+    sets_log2;
+    ways;
+    sets =
+      Array.init (1 lsl sets_log2)
+        (fun _ -> Array.init ways (fun _ -> { line = -1; st = I; lru = 0 }));
+    tick = 0;
+  }
+
+let set_of t line = t.sets.(line land ((1 lsl t.sets_log2) - 1))
+
+let find_way t line =
+  let set = set_of t line in
+  let rec go i =
+    if i >= t.ways then None
+    else if set.(i).line = line && set.(i).st <> I then Some set.(i)
+    else go (i + 1)
+  in
+  go 0
+
+let find t line = match find_way t line with None -> I | Some w -> w.st
+
+let bump t w =
+  t.tick <- t.tick + 1;
+  w.lru <- t.tick
+
+let touch t line = match find_way t line with None -> () | Some w -> bump t w
+
+let set_state t line st =
+  match find_way t line with
+  | None -> ()
+  | Some w ->
+      if st = I then begin
+        w.line <- -1;
+        w.st <- I
+      end
+      else begin
+        w.st <- st;
+        bump t w
+      end
+
+let insert t line st =
+  if st = I then invalid_arg "Cache.insert: cannot insert in state I";
+  assert (find t line = I);
+  let set = set_of t line in
+  (* Prefer an empty way; otherwise evict the LRU way. *)
+  let victim = ref set.(0) in
+  let empty = ref None in
+  for i = 0 to t.ways - 1 do
+    let w = set.(i) in
+    if w.st = I then (if !empty = None then empty := Some w)
+    else if w.lru < !victim.lru || !victim.st = I then victim := w
+  done;
+  match !empty with
+  | Some w ->
+      w.line <- line;
+      w.st <- st;
+      bump t w;
+      None
+  | None ->
+      let w = !victim in
+      let evicted = (w.line, w.st) in
+      w.line <- line;
+      w.st <- st;
+      bump t w;
+      Some evicted
+
+let remove t line = set_state t line I
+
+let population t =
+  Array.fold_left
+    (fun acc set ->
+      Array.fold_left (fun acc w -> if w.st <> I then acc + 1 else acc) acc set)
+    0 t.sets
+
+let pp_state ppf st =
+  Format.pp_print_string ppf (match st with I -> "I" | S -> "S" | E -> "E" | M -> "M")

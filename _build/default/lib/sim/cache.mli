@@ -1,0 +1,35 @@
+(** A set-associative cache array with LRU replacement.
+
+    This is a pure state-tracking structure (which lines are resident and in
+    which MESI state); data contents live in {!Memory}. One instance models
+    one level (L1 or L2) of one core's private hierarchy. *)
+
+type state = I | S | E | M
+
+type t
+
+val create : sets_log2:int -> ways:int -> t
+
+(** [find t line] is the line's current state, [I] if not resident. *)
+val find : t -> int -> state
+
+(** [touch t line] refreshes the line's LRU position (no-op if absent). *)
+val touch : t -> int -> unit
+
+(** [set_state t line st] updates a resident line's state. Setting [I]
+    removes the line. No-op if the line is absent. *)
+val set_state : t -> int -> state -> unit
+
+(** [insert t line st] makes the line resident in state [st], evicting the
+    set's LRU victim if the set is full. Returns the victim [(line, state)]
+    if one was evicted. The line must not already be resident. *)
+val insert : t -> int -> state -> (int * state) option
+
+(** [remove t line] drops the line (external invalidation or inclusion
+    victim). No-op if absent. *)
+val remove : t -> int -> unit
+
+(** Number of resident lines (diagnostics / tests). *)
+val population : t -> int
+
+val pp_state : Format.formatter -> state -> unit

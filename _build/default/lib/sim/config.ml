@@ -1,0 +1,67 @@
+type t = {
+  num_cores : int;
+  line_words_log2 : int;
+  l1_sets_log2 : int;
+  l1_ways : int;
+  l2_sets_log2 : int;
+  l2_ways : int;
+  max_tags : int;
+  lat_l1 : int;
+  lat_l2 : int;
+  lat_dir : int;
+  lat_mem : int;
+  lat_remote : int;
+  lat_inval : int;
+  lat_inval_per_sharer : int;
+  lat_store_buffered : int;
+  lat_tag_op : int;
+  lat_validate : int;
+  ias_tag_targeted : bool;
+  energy_l1 : float;
+  energy_l2 : float;
+  energy_dir : float;
+  energy_msg : float;
+  energy_static_per_cycle : float;
+}
+
+let default ?(num_cores = 8) () =
+  if num_cores < 1 || num_cores > 64 then
+    invalid_arg "Config.default: num_cores must be in 1..64";
+  {
+    num_cores;
+    line_words_log2 = 3;
+    (* 64 sets x 8 ways x 64 B = 32 KB *)
+    l1_sets_log2 = 6;
+    l1_ways = 8;
+    (* 256 sets x 16 ways x 64 B = 256 KB *)
+    l2_sets_log2 = 8;
+    l2_ways = 16;
+    max_tags = 64;
+    lat_l1 = 1;
+    lat_l2 = 8;
+    lat_dir = 25;
+    lat_mem = 100;
+    lat_remote = 80;
+    lat_inval = 30;
+    lat_inval_per_sharer = 5;
+    lat_store_buffered = 12;
+    lat_tag_op = 0;
+    lat_validate = 0;
+    ias_tag_targeted = true;
+    energy_l1 = 0.5;
+    energy_l2 = 2.0;
+    energy_dir = 5.0;
+    energy_msg = 8.0;
+    energy_static_per_cycle = 0.05;
+  }
+
+let line_words t = 1 lsl t.line_words_log2
+
+let line_of_addr t addr = addr lsr t.line_words_log2
+
+let lines_of_range t addr nwords =
+  if nwords <= 0 then invalid_arg "Config.lines_of_range: empty range";
+  let first = line_of_addr t addr in
+  let last = line_of_addr t (addr + nwords - 1) in
+  let rec collect l acc = if l < first then acc else collect (l - 1) (l :: acc) in
+  collect last []

@@ -1,0 +1,75 @@
+(** Simulated machine configuration.
+
+    Mirrors the Graphite setup used in the paper's evaluation: a tiled
+    multi-core with per-core private L1 and private inclusive L2 caches kept
+    coherent with a MESI directory protocol, 64-byte cache lines.
+
+    All sizes are expressed in 8-byte words; a cache line is
+    [1 lsl line_words_log2] words (default 8 words = 64 bytes). *)
+
+type t = {
+  num_cores : int;          (** number of simulated cores, 1..64 *)
+  line_words_log2 : int;    (** log2 of words per cache line *)
+  l1_sets_log2 : int;       (** log2 of L1 set count *)
+  l1_ways : int;            (** L1 associativity *)
+  l2_sets_log2 : int;       (** log2 of L2 set count *)
+  l2_ways : int;            (** L2 associativity *)
+  max_tags : int;           (** MemTags [Max_Tags]: tag-set capacity *)
+  (* Latencies, in core cycles. *)
+  lat_l1 : int;             (** L1 hit *)
+  lat_l2 : int;             (** L2 hit (fill into L1) *)
+  lat_dir : int;            (** directory lookup / permission round-trip *)
+  lat_mem : int;            (** data fetched from memory *)
+  lat_remote : int;         (** cache-to-cache transfer from a remote core *)
+  lat_inval : int;          (** invalidation round (charged once if any sharer) *)
+  lat_inval_per_sharer : int;
+      (** additional cycles per invalidated sharer: the directory issues
+          unicast invalidations and collects acks, so wide broadcasts
+          serialize (Graphite behaves likewise) *)
+  lat_store_buffered : int;
+      (** latency cap charged to the issuing core for a {e plain} store:
+          the store buffer hides the miss/upgrade from the pipeline. The
+          coherence side effects (invalidating sharers, directory state)
+          still happen in full — only the issuer's stall is capped.
+          Atomics (CAS, successful VAS/IAS) are never capped: they must
+          own the line before retiring. *)
+  lat_tag_op : int;         (** explicit cost of tag add/remove bookkeeping.
+                                Default 0: the tag unit updates in parallel
+                                with the access that carries it, as in the
+                                paper's load-buffer implementation. The
+                                ablation bench sweeps this. *)
+  lat_validate : int;       (** explicit cost of a Validate check (and of a
+                                locally-failing VAS/IAS). Default 0; swept
+                                by the ablation bench. *)
+  ias_tag_targeted : bool;
+      (** When true (default), the invalidation step of IAS only kills the
+          line at cores that currently have it {e tagged} — the minimal
+          semantics of the paper ("invalidates the corresponding locations
+          at other cores (if they are tagged)", Section 1), leaving
+          untagged sharers' byte-identical copies intact. When false, IAS
+          elevates every tagged line to M, invalidating all sharers (the
+          conservative implementation sketch of Section 3); the ablation
+          bench compares both. *)
+  (* Energy model, arbitrary nJ-ish units per event; see {!Stats.energy}. *)
+  energy_l1 : float;
+  energy_l2 : float;
+  energy_dir : float;
+  energy_msg : float;       (** per coherence message (invalidation, transfer) *)
+  energy_static_per_cycle : float;  (** per core-cycle leakage *)
+}
+
+(** [default ~num_cores ()] is the paper's Graphite-like configuration:
+    32 KB 8-way L1 (64 sets x 8 ways x 64 B), 256 KB 16-way inclusive L2,
+    [Max_Tags = 64]. *)
+val default : ?num_cores:int -> unit -> t
+
+(** Words per cache line. *)
+val line_words : t -> int
+
+(** [line_of_addr t addr] is the cache-line id containing word address
+    [addr]. *)
+val line_of_addr : t -> int -> int
+
+(** [lines_of_range t addr nwords] enumerates the line ids overlapping
+    [\[addr, addr + nwords)]. Raises [Invalid_argument] on empty ranges. *)
+val lines_of_range : t -> int -> int -> int list

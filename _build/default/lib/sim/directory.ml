@@ -1,0 +1,33 @@
+type sharing = Uncached | Shared of int list | Excl of int
+
+type t = (int, sharing) Hashtbl.t
+
+let create () = Hashtbl.create 4096
+
+let sharing t line = match Hashtbl.find_opt t line with None -> Uncached | Some s -> s
+
+let set t line s =
+  match s with
+  | Uncached | Shared [] -> Hashtbl.remove t line
+  | Shared cores -> Hashtbl.replace t line (Shared (List.sort_uniq compare cores))
+  | Excl _ -> Hashtbl.replace t line s
+
+let add_sharer t line core =
+  match sharing t line with
+  | Uncached -> set t line (Shared [ core ])
+  | Shared cores -> if not (List.mem core cores) then set t line (Shared (core :: cores))
+  | Excl owner ->
+      if owner = core then ()
+      else invalid_arg "Directory.add_sharer: line is exclusively owned"
+
+let drop t line core =
+  match sharing t line with
+  | Uncached -> ()
+  | Shared cores -> set t line (Shared (List.filter (fun c -> c <> core) cores))
+  | Excl owner -> if owner = core then set t line Uncached
+
+let others t line core =
+  match sharing t line with
+  | Uncached -> []
+  | Shared cores -> List.filter (fun c -> c <> core) cores
+  | Excl owner -> if owner = core then [] else [ owner ]

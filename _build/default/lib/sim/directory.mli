@@ -1,0 +1,33 @@
+(** Global MESI directory.
+
+    Tracks, for every cache line, which cores' private hierarchies hold it
+    and whether one of them holds it exclusively ([E]/[M]). The directory is
+    the serialization point for coherence transactions. *)
+
+type sharing =
+  | Uncached
+  | Shared of int list  (** core ids holding the line in S; non-empty, sorted *)
+  | Excl of int         (** one core holds the line in E or M *)
+
+type t
+
+val create : unit -> t
+
+val sharing : t -> int -> sharing
+
+(** [set t line sharing] installs the new sharing state. [Shared []] is
+    normalised to [Uncached]. *)
+val set : t -> int -> sharing -> unit
+
+(** [add_sharer t line core] transitions [Uncached -> Shared [core]] or adds
+    [core] to an existing sharer list. Raises [Invalid_argument] if the line
+    is currently [Excl] of another core. *)
+val add_sharer : t -> int -> int -> unit
+
+(** [drop t line core] removes [core] from the line's sharers/owner (used
+    when a private cache silently evicts the line). *)
+val drop : t -> int -> int -> unit
+
+(** [others t line core] lists every core other than [core] currently
+    holding the line. *)
+val others : t -> int -> int -> int list

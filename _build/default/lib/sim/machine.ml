@@ -1,0 +1,398 @@
+type core = {
+  id : int;
+  l1 : Cache.t;
+  l2 : Cache.t;
+  tags : Memtag_unit.t;
+  stats : Stats.t;
+}
+
+type t = {
+  cfg : Config.t;
+  mem : Memory.t;
+  dir : Directory.t;
+  cores : core array;
+}
+
+let create cfg =
+  {
+    cfg;
+    mem = Memory.create cfg;
+    dir = Directory.create ();
+    cores =
+      Array.init cfg.num_cores (fun id ->
+          {
+            id;
+            l1 = Cache.create ~sets_log2:cfg.l1_sets_log2 ~ways:cfg.l1_ways;
+            l2 = Cache.create ~sets_log2:cfg.l2_sets_log2 ~ways:cfg.l2_ways;
+            tags = Memtag_unit.create ~max_tags:cfg.max_tags;
+            stats = Stats.create ();
+          });
+  }
+
+let cfg t = t.cfg
+let memory t = t.mem
+let num_cores t = Array.length t.cores
+
+let core t core =
+  if core < 0 || core >= Array.length t.cores then
+    invalid_arg (Printf.sprintf "Machine: bad core id %d" core);
+  t.cores.(core)
+
+let stats t ~core:c = (core t c).stats
+let total_stats t = Stats.sum (Array.map (fun c -> c.stats) t.cores)
+let reset_stats t = Array.iter (fun c -> Stats.reset c.stats) t.cores
+
+let alloc t ~words = Memory.alloc t.mem ~words
+let peek t addr = Memory.get t.mem addr
+let poke t addr v = Memory.set t.mem addr v
+
+(* ------------------------------------------------------------------ *)
+(* Coherence actions on remote cores.                                  *)
+
+(* Remove [line] from [victim]'s whole private hierarchy: a remote core is
+   taking exclusive ownership. Kills any tag the victim held on the line. *)
+let invalidate_remote t victim line =
+  let v = t.cores.(victim) in
+  let dirty = Cache.find v.l2 line = M in
+  Cache.remove v.l1 line;
+  Cache.remove v.l2 line;
+  if dirty then v.stats.writebacks <- v.stats.writebacks + 1;
+  Memtag_unit.on_evict v.tags line Memtag_unit.Conflict;
+  v.stats.invalidations_received <- v.stats.invalidations_received + 1;
+  Directory.drop t.dir line victim
+
+(* Demote [line] to S at [victim]: a remote core wants read access. Tags
+   survive — a downgrade is not an invalidation. *)
+let downgrade_remote t victim line =
+  let v = t.cores.(victim) in
+  if Cache.find v.l2 line = M then v.stats.writebacks <- v.stats.writebacks + 1;
+  Cache.set_state v.l2 line Cache.S;
+  Cache.set_state v.l1 line Cache.S;
+  v.stats.downgrades_received <- v.stats.downgrades_received + 1
+
+(* ------------------------------------------------------------------ *)
+(* Fills with victim handling.                                         *)
+
+(* L1 victim stays in L2 (inclusive hierarchy), but its tag dies: MemTags
+   live at the L1 level, so falling out of L1 is a (spurious) eviction. *)
+let l1_insert c line st =
+  match Cache.insert c.l1 line st with
+  | None -> ()
+  | Some (vline, _vst) -> Memtag_unit.on_evict c.tags vline Memtag_unit.Capacity
+
+(* An L2 victim leaves the whole hierarchy: back-invalidate the L1 copy
+   (inclusion), write back if dirty, and tell the directory. *)
+let l2_insert t c line st =
+  match Cache.insert c.l2 line st with
+  | None -> ()
+  | Some (vline, vst) ->
+      if Cache.find c.l1 vline <> Cache.I then begin
+        Cache.remove c.l1 vline;
+        Memtag_unit.on_evict c.tags vline Memtag_unit.Capacity
+      end;
+      if vst = Cache.M then c.stats.writebacks <- c.stats.writebacks + 1;
+      Directory.drop t.dir vline c.id
+
+(* ------------------------------------------------------------------ *)
+(* The central access routine: make [line] resident in [c]'s L1 with read
+   rights ([excl = false]) or exclusive rights ([excl = true]); drive the
+   MESI transitions, count events, and return the latency in cycles. *)
+
+let inval_round_lat cfg n_sharers =
+  if n_sharers = 0 then 0
+  else cfg.Config.lat_inval + (cfg.Config.lat_inval_per_sharer * n_sharers)
+
+let upgrade_from_shared t c line =
+  let cfg = t.cfg in
+  let others = Directory.others t.dir line c.id in
+  List.iter
+    (fun o ->
+      invalidate_remote t o line;
+      c.stats.invalidations_sent <- c.stats.invalidations_sent + 1)
+    others;
+  Directory.set t.dir line (Directory.Excl c.id);
+  c.stats.coherence_msgs <- c.stats.coherence_msgs + 1;
+  cfg.lat_dir + inval_round_lat cfg (List.length others)
+
+let acquire t c line ~excl =
+  let cfg = t.cfg in
+  match Cache.find c.l1 line with
+  | Cache.M ->
+      Cache.touch c.l1 line;
+      c.stats.l1_hits <- c.stats.l1_hits + 1;
+      cfg.lat_l1
+  | Cache.E ->
+      if excl then begin
+        (* silent E -> M promotion *)
+        Cache.set_state c.l1 line Cache.M;
+        Cache.set_state c.l2 line Cache.M
+      end
+      else Cache.touch c.l1 line;
+      c.stats.l1_hits <- c.stats.l1_hits + 1;
+      cfg.lat_l1
+  | Cache.S when not excl ->
+      Cache.touch c.l1 line;
+      c.stats.l1_hits <- c.stats.l1_hits + 1;
+      cfg.lat_l1
+  | Cache.S ->
+      (* S -> M upgrade: permission round through the directory. *)
+      c.stats.l1_hits <- c.stats.l1_hits + 1;
+      let lat = upgrade_from_shared t c line in
+      Cache.set_state c.l1 line Cache.M;
+      Cache.set_state c.l2 line Cache.M;
+      cfg.lat_l1 + lat
+  | Cache.I -> begin
+      c.stats.l1_misses <- c.stats.l1_misses + 1;
+      match Cache.find c.l2 line with
+      | (Cache.M | Cache.E) as st2 ->
+          c.stats.l2_hits <- c.stats.l2_hits + 1;
+          let st = if excl then Cache.M else st2 in
+          if excl && st2 = Cache.E then Cache.set_state c.l2 line Cache.M;
+          l1_insert c line st;
+          cfg.lat_l2
+      | Cache.S when not excl ->
+          c.stats.l2_hits <- c.stats.l2_hits + 1;
+          l1_insert c line Cache.S;
+          cfg.lat_l2
+      | Cache.S ->
+          c.stats.l2_hits <- c.stats.l2_hits + 1;
+          let lat = upgrade_from_shared t c line in
+          Cache.set_state c.l2 line Cache.M;
+          l1_insert c line Cache.M;
+          cfg.lat_l2 + lat
+      | Cache.I ->
+          (* Full miss: directory transaction. *)
+          c.stats.l2_misses <- c.stats.l2_misses + 1;
+          c.stats.coherence_msgs <- c.stats.coherence_msgs + 1;
+          let lat = ref cfg.lat_dir in
+          let st =
+            if excl then begin
+              (match Directory.sharing t.dir line with
+              | Directory.Uncached -> lat := !lat + cfg.lat_mem
+              | Directory.Excl o ->
+                  assert (o <> c.id);
+                  invalidate_remote t o line;
+                  c.stats.invalidations_sent <- c.stats.invalidations_sent + 1;
+                  lat := !lat + cfg.lat_remote
+              | Directory.Shared cores ->
+                  List.iter
+                    (fun o ->
+                      invalidate_remote t o line;
+                      c.stats.invalidations_sent <- c.stats.invalidations_sent + 1)
+                    cores;
+                  lat := !lat + cfg.lat_mem + inval_round_lat cfg (List.length cores));
+              Directory.set t.dir line (Directory.Excl c.id);
+              Cache.M
+            end
+            else begin
+              match Directory.sharing t.dir line with
+              | Directory.Uncached ->
+                  Directory.set t.dir line (Directory.Excl c.id);
+                  lat := !lat + cfg.lat_mem;
+                  Cache.E
+              | Directory.Excl o ->
+                  assert (o <> c.id);
+                  downgrade_remote t o line;
+                  Directory.set t.dir line (Directory.Shared [ o; c.id ]);
+                  lat := !lat + cfg.lat_remote;
+                  Cache.S
+              | Directory.Shared cores ->
+                  Directory.set t.dir line (Directory.Shared (c.id :: cores));
+                  lat := !lat + cfg.lat_mem;
+                  Cache.S
+            end
+          in
+          l2_insert t c line st;
+          l1_insert c line st;
+          !lat
+    end
+
+(* Kill [line] at every other core that has it *tagged* (IAS invalidation
+   step, tag-targeted variant). Returns the latency charged to the issuer:
+   a directory interrogation plus one invalidation round if any remote
+   tagger existed. *)
+let invalidate_taggers t c line =
+  let hit = ref 0 in
+  Array.iter
+    (fun v ->
+      if v.id <> c.id && Memtag_unit.is_tagged v.tags line then begin
+        incr hit;
+        if Cache.find v.l2 line <> Cache.I || Cache.find v.l1 line <> Cache.I
+        then begin
+          if Cache.find v.l2 line = Cache.M then
+            v.stats.writebacks <- v.stats.writebacks + 1;
+          Cache.remove v.l1 line;
+          Cache.remove v.l2 line;
+          Directory.drop t.dir line v.id;
+          v.stats.invalidations_received <- v.stats.invalidations_received + 1;
+          c.stats.invalidations_sent <- c.stats.invalidations_sent + 1
+        end;
+        Memtag_unit.on_evict v.tags line Memtag_unit.Conflict
+      end)
+    t.cores;
+  c.stats.coherence_msgs <- c.stats.coherence_msgs + 1;
+  t.cfg.lat_dir + inval_round_lat t.cfg !hit
+
+(* ------------------------------------------------------------------ *)
+(* Word-level operations.                                              *)
+
+let line_of t addr = Config.line_of_addr t.cfg addr
+
+let read t ~core:cid addr =
+  let c = core t cid in
+  let lat = acquire t c (line_of t addr) ~excl:false in
+  c.stats.loads <- c.stats.loads + 1;
+  (Memory.get t.mem addr, lat)
+
+let write t ~core:cid addr v =
+  let c = core t cid in
+  let lat = acquire t c (line_of t addr) ~excl:true in
+  c.stats.stores <- c.stats.stores + 1;
+  Memory.set t.mem addr v;
+  (* The store buffer hides the miss from the pipeline; coherence side
+     effects above still happened in full. *)
+  min lat t.cfg.lat_store_buffered
+
+let cas t ~core:cid addr ~expected ~desired =
+  let c = core t cid in
+  let lat = acquire t c (line_of t addr) ~excl:true in
+  c.stats.cas_ops <- c.stats.cas_ops + 1;
+  let old = Memory.get t.mem addr in
+  if old = expected then begin
+    Memory.set t.mem addr desired;
+    (true, lat)
+  end
+  else begin
+    c.stats.cas_failures <- c.stats.cas_failures + 1;
+    (false, lat)
+  end
+
+let faa t ~core:cid addr delta =
+  let c = core t cid in
+  let lat = acquire t c (line_of t addr) ~excl:true in
+  let old = Memory.get t.mem addr in
+  Memory.set t.mem addr (old + delta);
+  c.stats.stores <- c.stats.stores + 1;
+  (old, lat)
+
+(* ------------------------------------------------------------------ *)
+(* MemTags operations.                                                 *)
+
+let add_tag t ~core:cid addr ~words =
+  let c = core t cid in
+  let lines = Config.lines_of_range t.cfg addr words in
+  List.fold_left
+    (fun lat line ->
+      let l = acquire t c line ~excl:false in
+      Memtag_unit.add c.tags line;
+      c.stats.tag_adds <- c.stats.tag_adds + 1;
+      lat + l + t.cfg.lat_tag_op)
+    0 lines
+
+let add_tag_read t ~core:cid addr ~words =
+  let c = core t cid in
+  let lines = Config.lines_of_range t.cfg addr words in
+  let lat =
+    List.fold_left
+      (fun lat line ->
+        let l = acquire t c line ~excl:false in
+        Memtag_unit.add c.tags line;
+        c.stats.tag_adds <- c.stats.tag_adds + 1;
+        lat + l + t.cfg.lat_tag_op)
+      0 lines
+  in
+  c.stats.loads <- c.stats.loads + 1;
+  (Memory.get t.mem addr, lat)
+
+let remove_tag t ~core:cid addr ~words =
+  let c = core t cid in
+  let lines = Config.lines_of_range t.cfg addr words in
+  List.fold_left
+    (fun lat line ->
+      Memtag_unit.remove c.tags line;
+      c.stats.tag_removes <- c.stats.tag_removes + 1;
+      lat + t.cfg.lat_tag_op)
+    0 lines
+
+let record_verdict c (verdict : Memtag_unit.verdict) =
+  c.stats.validates <- c.stats.validates + 1;
+  (match verdict with
+  | Memtag_unit.Ok -> ()
+  | Memtag_unit.Fail_conflict ->
+      c.stats.validate_failures <- c.stats.validate_failures + 1
+  | Memtag_unit.Fail_spurious ->
+      c.stats.validate_failures <- c.stats.validate_failures + 1;
+      c.stats.validate_failures_spurious <- c.stats.validate_failures_spurious + 1);
+  if Memtag_unit.overflowed c.tags then c.stats.tag_overflows <- c.stats.tag_overflows + 1;
+  verdict = Memtag_unit.Ok
+
+let validate t ~core:cid =
+  let c = core t cid in
+  (record_verdict c (Memtag_unit.check c.tags), t.cfg.lat_validate)
+
+let clear_tag_set t ~core:cid =
+  let c = core t cid in
+  Memtag_unit.clear c.tags;
+  t.cfg.lat_tag_op
+
+let tag_count t ~core:cid = Memtag_unit.count (core t cid).tags
+
+let vas t ~core:cid addr v =
+  let c = core t cid in
+  c.stats.vas_ops <- c.stats.vas_ops + 1;
+  if not (record_verdict c (Memtag_unit.check c.tags)) then begin
+    (* Fail-fast: purely local, no coherence traffic at all. *)
+    c.stats.vas_failures <- c.stats.vas_failures + 1;
+    (false, t.cfg.lat_validate)
+  end
+  else begin
+    let lat = acquire t c (line_of t addr) ~excl:true in
+    (* The fill above may itself have capacity-evicted a tagged line, so
+       re-check; own writes never evict own tags. *)
+    if Memtag_unit.check c.tags <> Memtag_unit.Ok then begin
+      c.stats.vas_failures <- c.stats.vas_failures + 1;
+      (false, t.cfg.lat_validate + lat)
+    end
+    else begin
+      Memory.set t.mem addr v;
+      (true, t.cfg.lat_validate + lat)
+    end
+  end
+
+let ias t ~core:cid addr v =
+  let c = core t cid in
+  c.stats.ias_ops <- c.stats.ias_ops + 1;
+  if not (record_verdict c (Memtag_unit.check c.tags)) then begin
+    c.stats.ias_failures <- c.stats.ias_failures + 1;
+    (false, t.cfg.lat_validate)
+  end
+  else begin
+    let lines = List.sort compare (Memtag_unit.lines c.tags) in
+    let target = line_of t addr in
+    let lat =
+      if t.cfg.ias_tag_targeted then
+        (* Minimal semantics: kill each tagged line only at cores that have
+           it tagged. Untagged sharers keep their (byte-identical) copies;
+           only the target line's write invalidates everyone. *)
+        List.fold_left
+          (fun lat line ->
+            if line = target then lat
+            else lat + invalidate_taggers t c line)
+          0 lines
+      else
+        (* Conservative implementation: elevate every tagged line to M. *)
+        List.fold_left
+          (fun lat line ->
+            if line = target then lat else lat + acquire t c line ~excl:true)
+          0 lines
+    in
+    let lat = lat + acquire t c target ~excl:true in
+    if Memtag_unit.check c.tags <> Memtag_unit.Ok then begin
+      c.stats.ias_failures <- c.stats.ias_failures + 1;
+      (false, t.cfg.lat_validate + lat)
+    end
+    else begin
+      Memory.set t.mem addr v;
+      (true, t.cfg.lat_validate + lat)
+    end
+  end

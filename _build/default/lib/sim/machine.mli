@@ -1,0 +1,87 @@
+(** The simulated multi-core machine.
+
+    Functional memory contents live in {!Memory}; this module layers the
+    timing model on top: per-core private L1/L2 caches, a MESI directory,
+    and the per-core MemTag units. Every operation returns the latency it
+    cost in cycles; the caller (normally {!Memtags.Ctx} in [lib/core]) is
+    responsible for stalling its fiber by that amount, which is what makes
+    coherence traffic translate into lost throughput.
+
+    All operations are atomic with respect to the fiber scheduler (fibers
+    are only preempted when they stall), so [cas]/[vas]/[ias] need no
+    further synchronization — exactly like single instructions in
+    Graphite's interleaving. *)
+
+type t
+
+val create : Config.t -> t
+
+val cfg : t -> Config.t
+val memory : t -> Memory.t
+val num_cores : t -> int
+
+(** Per-core counters; [core] must be in [0 .. num_cores-1]. *)
+val stats : t -> core:int -> Stats.t
+
+(** Aggregate of all cores' counters (fresh copy). *)
+val total_stats : t -> Stats.t
+
+(** Zero all counters (used to discard warmup). *)
+val reset_stats : t -> unit
+
+(** [alloc t ~words] allocates zeroed, line-aligned simulated memory. *)
+val alloc : t -> words:int -> Memory.addr
+
+(** {1 Plain memory operations} — value/latency results. *)
+
+val read : t -> core:int -> Memory.addr -> int * int
+val write : t -> core:int -> Memory.addr -> int -> int
+
+(** [cas t ~core addr ~expected ~desired] — a failed CAS still acquires the
+    line exclusively (that is the coherence cost VAS avoids). *)
+val cas : t -> core:int -> Memory.addr -> expected:int -> desired:int -> bool * int
+
+(** Fetch-and-add; returns the previous value. *)
+val faa : t -> core:int -> Memory.addr -> int -> int * int
+
+(** {1 MemTags operations} (paper Section 3). *)
+
+(** [add_tag t ~core addr ~words] tags every line overlapping the range,
+    fetching each line (read rights) as a side effect. *)
+val add_tag : t -> core:int -> Memory.addr -> words:int -> int
+
+(** [add_tag_read t ~core addr ~words] tags the range and returns the word
+    at [addr] in the same access — modelling a load that carries a tag
+    annotation, the common pattern "AddTag(x); read x" fused into one
+    memory operation. *)
+val add_tag_read : t -> core:int -> Memory.addr -> words:int -> int * int
+
+val remove_tag : t -> core:int -> Memory.addr -> words:int -> int
+
+(** [validate t ~core] — succeeds iff no tagged line was invalidated or
+    evicted since tagging and the tag set never overflowed. Purely local:
+    generates no coherence traffic. Does not modify the tag set. *)
+val validate : t -> core:int -> bool * int
+
+val clear_tag_set : t -> core:int -> int
+
+(** Validate-and-swap. On validation failure, fails locally without any
+    coherence traffic. On success, acquires the target line exclusively
+    (invalidating remote copies and their tags) and stores. *)
+val vas : t -> core:int -> Memory.addr -> int -> bool * int
+
+(** Invalidate-and-swap. On success, additionally acquires {e every}
+    currently tagged line exclusively, invalidating remote copies — the
+    "transient marking" that aborts concurrent tagged traversals — then
+    stores to the target. *)
+val ias : t -> core:int -> Memory.addr -> int -> bool * int
+
+(** Number of lines currently tracked by the core's tag unit. *)
+val tag_count : t -> core:int -> int
+
+(** Direct read of simulated memory without touching the timing model
+    (for assertions, invariant checkers and tests only). *)
+val peek : t -> Memory.addr -> int
+
+(** Direct write bypassing the timing model (test setup only). *)
+val poke : t -> Memory.addr -> int -> unit

@@ -1,0 +1,58 @@
+type addr = int
+
+let null = 0
+
+(* Memory is a growable array of fixed-size chunks so that allocation never
+   copies and address arithmetic stays cheap. *)
+let chunk_log2 = 16
+let chunk_words = 1 lsl chunk_log2
+let chunk_mask = chunk_words - 1
+
+type t = {
+  line_words : int;
+  mutable chunks : int array array;
+  mutable next_free : addr;
+}
+
+let create cfg =
+  let line_words = Config.line_words cfg in
+  {
+    line_words;
+    chunks = Array.init 4 (fun _ -> Array.make chunk_words 0);
+    (* Skip line 0 entirely so that address 0 is an unambiguous null. *)
+    next_free = line_words;
+  }
+
+let ensure_capacity t addr =
+  let needed_chunks = (addr lsr chunk_log2) + 1 in
+  if needed_chunks > Array.length t.chunks then begin
+    let n = max needed_chunks (2 * Array.length t.chunks) in
+    let chunks = Array.make n [||] in
+    Array.blit t.chunks 0 chunks 0 (Array.length t.chunks);
+    for i = Array.length t.chunks to n - 1 do
+      chunks.(i) <- Array.make chunk_words 0
+    done;
+    t.chunks <- chunks
+  end
+
+let alloc t ~words =
+  if words <= 0 then invalid_arg "Memory.alloc: words must be positive";
+  let base = t.next_free in
+  let rounded = (words + t.line_words - 1) land lnot (t.line_words - 1) in
+  t.next_free <- base + rounded;
+  ensure_capacity t (t.next_free - 1);
+  base
+
+let allocated_words t = t.next_free
+
+let check t addr =
+  if addr <= 0 || addr >= t.next_free then
+    invalid_arg (Printf.sprintf "Memory: address %d out of bounds" addr)
+
+let get t addr =
+  check t addr;
+  t.chunks.(addr lsr chunk_log2).(addr land chunk_mask)
+
+let set t addr v =
+  check t addr;
+  t.chunks.(addr lsr chunk_log2).(addr land chunk_mask) <- v

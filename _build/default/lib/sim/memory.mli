@@ -1,0 +1,27 @@
+(** Simulated flat memory.
+
+    The functional contents of memory live here; the caches and directory
+    only model {e timing} and coherence state. Addresses are word indices
+    (one word = one OCaml [int]). Address [0] is reserved as the null
+    pointer and is never handed out by the allocator. *)
+
+type t
+
+type addr = int
+
+(** The null pointer. Dereferencing it raises [Invalid_argument]. *)
+val null : addr
+
+val create : Config.t -> t
+
+(** [alloc t ~words] bump-allocates [words] zero-initialised words aligned
+    to a cache-line boundary, so that distinct allocations never share a
+    line (the paper maps each node to its own line to avoid false
+    sharing). Raises [Invalid_argument] if [words <= 0]. *)
+val alloc : t -> words:int -> addr
+
+(** Number of words allocated so far (diagnostics). *)
+val allocated_words : t -> int
+
+val get : t -> addr -> int
+val set : t -> addr -> int -> unit

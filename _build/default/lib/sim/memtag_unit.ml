@@ -1,0 +1,75 @@
+type cause = Conflict | Capacity
+
+type entry = Tagged | Evicted of cause
+
+type t = {
+  tbl : (int, entry) Hashtbl.t;
+  max_tags : int;
+  mutable overflow : bool;
+  mutable evicted_conflict : int;
+  mutable evicted_capacity : int;
+}
+
+let create ~max_tags =
+  if max_tags <= 0 then invalid_arg "Memtag_unit.create: max_tags must be positive";
+  {
+    tbl = Hashtbl.create 64;
+    max_tags;
+    overflow = false;
+    evicted_conflict = 0;
+    evicted_capacity = 0;
+  }
+
+let add t line =
+  match Hashtbl.find_opt t.tbl line with
+  | Some _ -> ()
+  | None ->
+      Hashtbl.replace t.tbl line Tagged;
+      if Hashtbl.length t.tbl > t.max_tags then t.overflow <- true
+
+let remove t line =
+  match Hashtbl.find_opt t.tbl line with
+  | None -> ()
+  | Some Tagged -> Hashtbl.remove t.tbl line
+  | Some (Evicted Conflict) ->
+      t.evicted_conflict <- t.evicted_conflict - 1;
+      Hashtbl.remove t.tbl line
+  | Some (Evicted Capacity) ->
+      t.evicted_capacity <- t.evicted_capacity - 1;
+      Hashtbl.remove t.tbl line
+
+let is_tagged t line = Hashtbl.mem t.tbl line
+
+let on_evict t line cause =
+  match Hashtbl.find_opt t.tbl line with
+  | None | Some (Evicted Conflict) -> ()
+  | Some (Evicted Capacity) ->
+      (* A conflict supersedes a capacity record: the failure is real. *)
+      if cause = Conflict then begin
+        t.evicted_capacity <- t.evicted_capacity - 1;
+        t.evicted_conflict <- t.evicted_conflict + 1;
+        Hashtbl.replace t.tbl line (Evicted Conflict)
+      end
+  | Some Tagged ->
+      Hashtbl.replace t.tbl line (Evicted cause);
+      if cause = Conflict then t.evicted_conflict <- t.evicted_conflict + 1
+      else t.evicted_capacity <- t.evicted_capacity + 1
+
+type verdict = Ok | Fail_conflict | Fail_spurious
+
+let check t =
+  if t.evicted_conflict > 0 then Fail_conflict
+  else if t.evicted_capacity > 0 || t.overflow then Fail_spurious
+  else Ok
+
+let overflowed t = t.overflow
+
+let count t = Hashtbl.length t.tbl
+
+let clear t =
+  Hashtbl.reset t.tbl;
+  t.overflow <- false;
+  t.evicted_conflict <- 0;
+  t.evicted_capacity <- 0
+
+let lines t = Hashtbl.fold (fun line _ acc -> line :: acc) t.tbl []

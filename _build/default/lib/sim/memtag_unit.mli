@@ -1,0 +1,44 @@
+(** Per-core MemTags state (the paper's Section 3 mechanism at L1).
+
+    The unit tracks a bounded set of {e tagged} cache lines. A tagged line
+    moves to the {e evicted} set when the L1 loses it — either because a
+    remote core invalidated it (a real [Conflict]) or because it fell out of
+    the L1 by replacement ([Capacity], the source of spurious failures).
+    [validate] succeeds iff no tagged line has been evicted and the tag set
+    never exceeded [max_tags] since the last [clear]. *)
+
+type cause = Conflict | Capacity
+
+type t
+
+val create : max_tags:int -> t
+
+(** [add t line] tags [line]; re-tagging an evicted line leaves it evicted.
+    Sets the (latched) overflow flag when capacity is exceeded. *)
+val add : t -> int -> unit
+
+(** [remove t line] drops the line's entry entirely — including a pending
+    evicted record (see DESIGN.md for the rationale). No-op if untagged. *)
+val remove : t -> int -> unit
+
+(** [is_tagged t line] is true if the line is currently tracked (tagged or
+    evicted). *)
+val is_tagged : t -> int -> bool
+
+(** Called by the cache model when the L1 loses a line. *)
+val on_evict : t -> int -> cause -> unit
+
+type verdict = Ok | Fail_conflict | Fail_spurious
+
+(** [check t] classifies the current tag set: [Ok] if validation would
+    succeed; [Fail_conflict] if a tagged line was invalidated remotely;
+    [Fail_spurious] if the only failure causes are capacity evictions or
+    overflow. Does not modify state. *)
+val check : t -> verdict
+
+val overflowed : t -> bool
+val count : t -> int
+val clear : t -> unit
+
+(** Currently tracked lines (tagged or evicted), unordered. *)
+val lines : t -> int list

@@ -1,0 +1,60 @@
+type 'a entry = { time : int; tie : int; value : 'a }
+
+type 'a t = { mutable data : 'a entry array; mutable size : int }
+
+let create () = { data = [||]; size = 0 }
+
+let is_empty t = t.size = 0
+let length t = t.size
+
+let less a b = a.time < b.time || (a.time = b.time && a.tie < b.tie)
+
+let grow t =
+  let cap = Array.length t.data in
+  if t.size = cap then begin
+    let ncap = max 16 (2 * cap) in
+    let data = Array.make ncap t.data.(0) in
+    Array.blit t.data 0 data 0 cap;
+    t.data <- data
+  end
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if less t.data.(i) t.data.(parent) then begin
+      let tmp = t.data.(i) in
+      t.data.(i) <- t.data.(parent);
+      t.data.(parent) <- tmp;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < t.size && less t.data.(l) t.data.(!smallest) then smallest := l;
+  if r < t.size && less t.data.(r) t.data.(!smallest) then smallest := r;
+  if !smallest <> i then begin
+    let tmp = t.data.(i) in
+    t.data.(i) <- t.data.(!smallest);
+    t.data.(!smallest) <- tmp;
+    sift_down t !smallest
+  end
+
+let add t ~time ~tie value =
+  let entry = { time; tie; value } in
+  if t.size = 0 && Array.length t.data = 0 then t.data <- Array.make 16 entry;
+  grow t;
+  t.data.(t.size) <- entry;
+  t.size <- t.size + 1;
+  sift_up t (t.size - 1)
+
+let pop_min t =
+  if t.size = 0 then invalid_arg "Pqueue.pop_min: empty";
+  let min = t.data.(0) in
+  t.size <- t.size - 1;
+  t.data.(0) <- t.data.(t.size);
+  sift_down t 0;
+  (min.time, min.tie, min.value)
+
+let min_time t = if t.size = 0 then None else Some t.data.(0).time

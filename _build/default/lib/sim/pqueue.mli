@@ -1,0 +1,20 @@
+(** A binary min-heap keyed by [(time, tie)] used by the fiber scheduler.
+
+    Ties on [time] are broken by the secondary integer key so that the
+    scheduling order — and hence the whole simulation — is deterministic. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val is_empty : 'a t -> bool
+val length : 'a t -> int
+
+val add : 'a t -> time:int -> tie:int -> 'a -> unit
+
+(** [pop_min t] removes and returns the minimum entry as
+    [(time, tie, value)]. Raises [Invalid_argument] if empty. *)
+val pop_min : 'a t -> int * int * 'a
+
+(** [min_time t] is the earliest key without removing it. *)
+val min_time : 'a t -> int option

@@ -1,0 +1,26 @@
+(** Deterministic pseudo-random number generator (splitmix64).
+
+    Every source of randomness in the simulator and the workloads goes
+    through one of these, seeded explicitly, so that a whole simulation run
+    is reproducible from its seed. *)
+
+type t
+
+val create : seed:int -> t
+
+(** [split t] derives an independent generator; used to give each simulated
+    thread its own stream from one master seed. *)
+val split : t -> t
+
+(** [next t] returns 64 fresh pseudo-random bits as an [int64]. *)
+val next : t -> int64
+
+(** [int t bound] is uniform in [\[0, bound)]. Raises [Invalid_argument] if
+    [bound <= 0]. *)
+val int : t -> int -> int
+
+(** [float t] is uniform in [\[0, 1)]. *)
+val float : t -> float
+
+(** [bool t] is a fair coin. *)
+val bool : t -> bool

@@ -1,0 +1,76 @@
+open Effect
+open Effect.Deep
+
+type _ Effect.t += Stall : int -> unit Effect.t
+
+type t = {
+  mutable bodies : (unit -> unit) list;  (* reversed spawn order *)
+  mutable n_fibers : int;
+  ready : (unit -> unit) Pqueue.t;
+}
+
+(* Scheduler-global state. The runtime is single-threaded and non-reentrant,
+   so plain refs suffice; [current_*] identify the running fiber. *)
+let clock = ref 0
+let current_fiber = ref (-1)
+let active = ref false
+
+let create () = { bodies = []; n_fibers = 0; ready = Pqueue.create () }
+
+let spawn t body =
+  t.bodies <- body :: t.bodies;
+  t.n_fibers <- t.n_fibers + 1
+
+let stall n =
+  if n < 0 then invalid_arg "Runtime.stall: negative latency";
+  if !current_fiber < 0 then invalid_arg "Runtime.stall: not inside a fiber";
+  perform (Stall n)
+
+let now () = !clock
+
+let fiber_id () =
+  if !current_fiber < 0 then invalid_arg "Runtime.fiber_id: not inside a fiber";
+  !current_fiber
+
+let run t =
+  if !active then invalid_arg "Runtime.run: a run is already active";
+  active := true;
+  clock := 0;
+  let clocks = Array.make (max 1 t.n_fibers) 0 in
+  let start tid body () =
+    match_with body ()
+      {
+        retc = (fun () -> ());
+        exnc = (fun exn -> raise exn);
+        effc =
+          (fun (type a) (eff : a Effect.t) ->
+            match eff with
+            | Stall n ->
+                Some
+                  (fun (k : (a, unit) continuation) ->
+                    clocks.(tid) <- clocks.(tid) + n;
+                    Pqueue.add t.ready ~time:clocks.(tid) ~tie:tid (fun () ->
+                        continue k ()))
+            | _ -> None);
+      }
+  in
+  List.iteri
+    (fun i body ->
+      let tid = t.n_fibers - 1 - i in
+      Pqueue.add t.ready ~time:0 ~tie:tid (start tid body))
+    t.bodies;
+  let finish () =
+    active := false;
+    current_fiber := -1
+  in
+  (try
+     while not (Pqueue.is_empty t.ready) do
+       let time, tid, resume = Pqueue.pop_min t.ready in
+       clock := time;
+       current_fiber := tid;
+       resume ()
+     done
+   with exn ->
+     finish ();
+     raise exn);
+  finish ()

@@ -1,0 +1,35 @@
+(** Cooperative fiber runtime driven by simulated time.
+
+    Each simulated thread runs as an OCaml 5 effect-handled fiber pinned to
+    one simulated core. Whenever a fiber incurs simulated latency it
+    performs {!stall}; the scheduler then resumes whichever fiber has the
+    smallest local clock (ties broken by fiber id), giving a deterministic
+    interleaving at memory-access granularity — the granularity at which
+    coherence races occur on real hardware and in Graphite.
+
+    The runtime is single-OS-threaded; at most one [run] may be active at a
+    time per process (enforced). *)
+
+type t
+
+val create : unit -> t
+
+(** [spawn t body] registers a fiber. Fibers start at simulated time 0 in
+    spawn order. Must be called before {!run}. *)
+val spawn : t -> (unit -> unit) -> unit
+
+(** [run t] executes all fibers to completion. Exceptions escaping a fiber
+    abort the whole run and are re-raised. *)
+val run : t -> unit
+
+(** [stall n] suspends the calling fiber for [n >= 0] simulated cycles.
+    Must be called from within a fiber. *)
+val stall : int -> unit
+
+(** [now ()] is the calling fiber's local clock. Outside any fiber it is
+    the final time of the last completed run. *)
+val now : unit -> int
+
+(** [fiber_id ()] is the id (spawn index) of the calling fiber. Raises
+    [Invalid_argument] outside a fiber. *)
+val fiber_id : unit -> int

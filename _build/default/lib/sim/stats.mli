@@ -1,0 +1,57 @@
+(** Per-core event counters and the derived energy model.
+
+    The caches and directory only track coherence {e state}; the actual data
+    always lives in {!Memory}. Consequently performance numbers are derived
+    purely from these counters plus the simulated clock. *)
+
+type t = {
+  mutable loads : int;
+  mutable stores : int;
+  mutable cas_ops : int;
+  mutable cas_failures : int;
+  mutable vas_ops : int;
+  mutable vas_failures : int;          (** VAS that failed validation locally *)
+  mutable ias_ops : int;
+  mutable ias_failures : int;
+  mutable l1_hits : int;
+  mutable l1_misses : int;
+  mutable l2_hits : int;
+  mutable l2_misses : int;             (** accesses that went to the directory *)
+  mutable invalidations_sent : int;    (** lines invalidated at remote cores *)
+  mutable invalidations_received : int;
+  mutable downgrades_received : int;
+  mutable writebacks : int;
+  mutable coherence_msgs : int;        (** directory transactions + remote hops *)
+  mutable tag_adds : int;
+  mutable tag_removes : int;
+  mutable validates : int;
+  mutable validate_failures : int;
+  mutable validate_failures_spurious : int;
+      (** validation failures caused only by capacity evictions or tag-set
+          overflow, never by a real remote conflict *)
+  mutable tag_overflows : int;
+  mutable busy_cycles : int;           (** cycles this core spent stalled/working *)
+}
+
+val create : unit -> t
+
+val reset : t -> unit
+
+(** [add acc t] accumulates [t] into [acc]. *)
+val add : t -> t -> unit
+
+(** [sum ts] is a fresh aggregate of all counters. *)
+val sum : t array -> t
+
+(** Total L1 accesses (hits + misses). *)
+val l1_accesses : t -> int
+
+(** L1 miss rate in [0,1]; 0 if there were no accesses. *)
+val l1_miss_rate : t -> float
+
+(** [energy cfg t ~cycles] evaluates the event-count energy model of
+    {!Config}: dynamic energy per L1/L2/directory access and per coherence
+    message, plus static leakage over [cycles] core-cycles. *)
+val energy : Config.t -> t -> cycles:int -> float
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/stamp/tx_map.ml: Ctx Mt_core Mt_sim Mt_stm

@@ -1,0 +1,1 @@
+lib/stamp/tx_map.mli: Mt_core Mt_sim Mt_stm

@@ -1,0 +1,1 @@
+lib/stamp/vacation.ml: Array Ctx List Mt_core Mt_sim Mt_stm Tx_map

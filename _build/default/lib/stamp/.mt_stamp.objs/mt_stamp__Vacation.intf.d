@@ -1,0 +1,1 @@
+lib/stamp/vacation.mli: Mt_core Mt_sim Mt_stm

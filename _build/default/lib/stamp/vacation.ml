@@ -1,0 +1,250 @@
+open Mt_core
+
+let null = Mt_sim.Memory.null
+
+module Make (S : Mt_stm.Stm_intf.S) = struct
+  module Map = Tx_map.Make (S)
+
+  (* Reservation entry: [0] total, [1] used, [2] free, [3] price. *)
+  let total_off = 0
+  let used_off = 1
+  let free_off = 2
+  let price_off = 3
+  let entry_words = 4
+
+  (* Customer reservation list node: [0] kind, [1] id, [2] price, [3] next.
+     Each customer's map value is the address of a one-word head cell. *)
+  let rk_off = 0
+  let rid_off = 1
+  let rprice_off = 2
+  let rnext_off = 3
+
+  type manager = {
+    tables : Map.t array;  (* cars, flights, rooms *)
+    customers : Map.t;
+  }
+
+  type params = {
+    relations : int;
+    queries : int;
+    query_pct : int;
+    user_pct : int;
+  }
+
+  let n_kinds = 3
+
+  (* ---------------------------------------------------------------- *)
+  (* Manager operations (all within a transaction). *)
+
+  let add_item tx mgr kind id ~num ~price =
+    let table = mgr.tables.(kind) in
+    match Map.find tx table id with
+    | Some entry ->
+        S.write tx (entry + total_off) (S.read tx (entry + total_off) + num);
+        S.write tx (entry + free_off) (S.read tx (entry + free_off) + num);
+        S.write tx (entry + price_off) price
+    | None ->
+        let entry = Ctx.alloc (S.ctx tx) ~words:entry_words in
+        S.write tx (entry + total_off) num;
+        S.write tx (entry + used_off) 0;
+        S.write tx (entry + free_off) num;
+        S.write tx (entry + price_off) price;
+        let (_ : bool) = Map.insert tx table id entry in
+        ()
+
+  (* STAMP's deleteReservation: retire [num] units if none would strand a
+     holder; drop the row entirely when it empties. *)
+  let remove_item tx mgr kind id ~num =
+    let table = mgr.tables.(kind) in
+    match Map.find tx table id with
+    | None -> false
+    | Some entry ->
+        let free = S.read tx (entry + free_off) in
+        if free < num then false
+        else begin
+          let total = S.read tx (entry + total_off) in
+          if total - num = 0 && S.read tx (entry + used_off) = 0 then
+            ignore (Map.remove tx table id)
+          else begin
+            S.write tx (entry + total_off) (total - num);
+            S.write tx (entry + free_off) (free - num)
+          end;
+          true
+        end
+
+  (* Price of item [id], if it exists and has stock. *)
+  let query_available tx mgr kind id =
+    match Map.find tx mgr.tables.(kind) id with
+    | None -> None
+    | Some entry ->
+        if S.read tx (entry + free_off) > 0 then
+          Some (S.read tx (entry + price_off))
+        else None
+
+  let add_customer tx ctx mgr id =
+    match Map.find tx mgr.customers id with
+    | Some _ -> false
+    | None ->
+        let head = Ctx.alloc ctx ~words:1 in
+        S.write tx head null;
+        Map.insert tx mgr.customers id head
+
+  let reserve tx ctx mgr kind ~customer ~id =
+    match Map.find tx mgr.customers customer with
+    | None -> false
+    | Some head -> begin
+        match Map.find tx mgr.tables.(kind) id with
+        | None -> false
+        | Some entry ->
+            let free = S.read tx (entry + free_off) in
+            if free <= 0 then false
+            else begin
+              S.write tx (entry + free_off) (free - 1);
+              S.write tx (entry + used_off) (S.read tx (entry + used_off) + 1);
+              let node = Ctx.alloc ctx ~words:4 in
+              S.write tx (node + rk_off) kind;
+              S.write tx (node + rid_off) id;
+              S.write tx (node + rprice_off) (S.read tx (entry + price_off));
+              S.write tx (node + rnext_off) (S.read tx head);
+              S.write tx head node;
+              true
+            end
+      end
+
+  (* Bill and remove a customer, releasing every reservation they hold. *)
+  let delete_customer tx mgr id =
+    match Map.find tx mgr.customers id with
+    | None -> false
+    | Some head ->
+        let rec release node bill =
+          if node = null then bill
+          else begin
+            let kind = S.read tx (node + rk_off) in
+            let rid = S.read tx (node + rid_off) in
+            (match Map.find tx mgr.tables.(kind) rid with
+            | None -> () (* inventory row retired meanwhile *)
+            | Some entry ->
+                S.write tx (entry + free_off) (S.read tx (entry + free_off) + 1);
+                S.write tx (entry + used_off) (S.read tx (entry + used_off) - 1));
+            release (S.read tx (node + rnext_off)) (bill + S.read tx (node + rprice_off))
+          end
+        in
+        let (_ : int) = release (S.read tx head) 0 in
+        ignore (Map.remove tx mgr.customers id);
+        true
+
+  (* ---------------------------------------------------------------- *)
+
+  let setup ctx stm (p : params) =
+    if p.relations <= 0 || p.queries <= 0 then invalid_arg "Vacation.setup";
+    let mgr =
+      {
+        tables = Array.init n_kinds (fun _ -> Map.create ctx);
+        customers = Map.create ctx;
+      }
+    in
+    let g = Mt_sim.Prng.create ~seed:0xACA7 in
+    (* Insert ids in shuffled order so the unbalanced BST stays shallow. *)
+    let ids = Array.init p.relations (fun i -> i) in
+    for i = p.relations - 1 downto 1 do
+      let j = Mt_sim.Prng.int g (i + 1) in
+      let tmp = ids.(i) in
+      ids.(i) <- ids.(j);
+      ids.(j) <- tmp
+    done;
+    for kind = 0 to n_kinds - 1 do
+      Array.iter
+        (fun id ->
+          let num = (Mt_sim.Prng.int g 5 + 1) * 100 in
+          let price = (Mt_sim.Prng.int g 5 * 10) + 50 in
+          S.atomically ctx stm (fun tx -> add_item tx mgr kind id ~num ~price))
+        ids
+    done;
+    Array.iter
+      (fun id -> S.atomically ctx stm (fun tx -> ignore (add_customer tx ctx mgr id)))
+      ids;
+    mgr
+
+  let make_reservation ctx stm mgr (p : params) g range =
+    let customer = Mt_sim.Prng.int g range in
+    S.atomically ctx stm (fun tx ->
+        let max_prices = Array.make n_kinds (-1) in
+        let max_ids = Array.make n_kinds (-1) in
+        for _ = 1 to p.queries do
+          let kind = Mt_sim.Prng.int g n_kinds in
+          let id = Mt_sim.Prng.int g range in
+          match query_available tx mgr kind id with
+          | Some price when price > max_prices.(kind) ->
+              max_prices.(kind) <- price;
+              max_ids.(kind) <- id
+          | Some _ | None -> ()
+        done;
+        let found = Array.exists (fun id -> id >= 0) max_ids in
+        if found then begin
+          ignore (add_customer tx ctx mgr customer);
+          Array.iteri
+            (fun kind id ->
+              if id >= 0 then ignore (reserve tx ctx mgr kind ~customer ~id))
+            max_ids
+        end)
+
+  let update_tables ctx stm mgr (p : params) g range =
+    S.atomically ctx stm (fun tx ->
+        for _ = 1 to p.queries do
+          let kind = Mt_sim.Prng.int g n_kinds in
+          let id = Mt_sim.Prng.int g range in
+          if Mt_sim.Prng.bool g then begin
+            let price = (Mt_sim.Prng.int g 5 * 10) + 50 in
+            add_item tx mgr kind id ~num:100 ~price
+          end
+          else ignore (remove_item tx mgr kind id ~num:100)
+        done)
+
+  let client_op ctx stm mgr (p : params) =
+    let g = Ctx.prng ctx in
+    let range = max 1 (p.relations * p.query_pct / 100) in
+    let r = Mt_sim.Prng.int g 100 in
+    if r < p.user_pct then make_reservation ctx stm mgr p g range
+    else if Mt_sim.Prng.bool g then
+      S.atomically ctx stm (fun tx ->
+          ignore (delete_customer tx mgr (Mt_sim.Prng.int g range)))
+    else update_tables ctx stm mgr p g range
+
+  (* ---------------------------------------------------------------- *)
+  (* Quiescent oracles. *)
+
+  let inventory_unsafe machine mgr =
+    let peek = Mt_sim.Machine.peek machine in
+    Array.fold_left
+      (fun (free, used) table ->
+        List.fold_left
+          (fun (free, used) (_, entry) ->
+            (free + peek (entry + free_off), used + peek (entry + used_off)))
+          (free, used)
+          (Map.to_alist_unsafe machine table))
+      (0, 0) mgr.tables
+
+  let tables_consistent_unsafe machine mgr =
+    let peek = Mt_sim.Machine.peek machine in
+    Array.for_all
+      (fun table ->
+        List.for_all
+          (fun (_, entry) ->
+            let total = peek (entry + total_off) in
+            let used = peek (entry + used_off) in
+            let free = peek (entry + free_off) in
+            used >= 0 && free >= 0 && used + free = total)
+          (Map.to_alist_unsafe machine table))
+      mgr.tables
+
+  let customer_reservations_unsafe machine mgr =
+    let peek = Mt_sim.Machine.peek machine in
+    List.fold_left
+      (fun acc (_, head) ->
+        let rec count node acc =
+          if node = null then acc else count (peek (node + rnext_off)) (acc + 1)
+        in
+        count (peek head) acc)
+      0
+      (Map.to_alist_unsafe machine mgr.customers)
+end

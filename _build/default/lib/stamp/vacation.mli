@@ -1,0 +1,39 @@
+(** From-scratch port of the STAMP {e vacation} benchmark (Minh et al.,
+    IISWC 2008) — the travel-reservation workload the paper runs on NOrec
+    in Figure 8, with the same parameters: [-n] queries per task, [-q]
+    fraction of relations queried, [-u] percentage of user tasks, [-r]
+    relations per table, [-t] transactions.
+
+    The manager keeps four transactional tables (cars, flights, rooms,
+    customers); each customer holds a linked list of its reservations. The
+    three task kinds are: make-reservation (query [n] random items and
+    reserve the dearest per kind), delete-customer (compute the bill and
+    release all reservations), and update-tables ([n] random
+    additions/removals of inventory). *)
+
+module Make (S : Mt_stm.Stm_intf.S) : sig
+  type manager
+
+  type params = {
+    relations : int;        (** -r: rows per table *)
+    queries : int;          (** -n: queries per task *)
+    query_pct : int;        (** -q: percentage of relations queried *)
+    user_pct : int;         (** -u: percentage of make-reservation tasks *)
+  }
+
+  (** Populate the four tables (ids inserted in shuffled order, sizes and
+      prices drawn as in STAMP). Single-fiber setup. *)
+  val setup : Mt_core.Ctx.t -> S.t -> params -> manager
+
+  (** Run one client task (one or two transactions, as in STAMP). *)
+  val client_op : Mt_core.Ctx.t -> S.t -> manager -> params -> unit
+
+  (** Sum over tables of (free, used) — used by the conservation test. *)
+  val inventory_unsafe : Mt_sim.Machine.t -> manager -> int * int
+
+  (** Per-entry sanity: [0 <= used], [0 <= free], [used + free = total]. *)
+  val tables_consistent_unsafe : Mt_sim.Machine.t -> manager -> bool
+
+  (** Total reservations held across all customers (test oracle). *)
+  val customer_reservations_unsafe : Mt_sim.Machine.t -> manager -> int
+end

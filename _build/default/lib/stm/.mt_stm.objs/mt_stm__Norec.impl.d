@@ -1,0 +1,1 @@
+lib/stm/norec.ml: Ctx Hashtbl List Mt_core Mt_sim Stm_intf

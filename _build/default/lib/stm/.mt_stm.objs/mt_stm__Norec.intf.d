@@ -1,0 +1,1 @@
+lib/stm/norec.mli: Stm_intf

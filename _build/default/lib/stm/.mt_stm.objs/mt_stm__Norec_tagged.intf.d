@@ -1,0 +1,1 @@
+lib/stm/norec_tagged.mli: Stm_intf

@@ -1,0 +1,8 @@
+(** NOrec STM (Dalessandro, Spear, Scott — PPoPP 2010), built from scratch
+    on simulated memory: a single global sequence lock, an indexed write
+    buffer, and value-based conflict detection. Readers re-check the
+    sequence lock after every read; when it moved, they re-validate their
+    whole read set by value — the coherence-heavy step that memory tagging
+    removes in {!Norec_tagged}. Satisfies opacity. *)
+
+include Stm_intf.S

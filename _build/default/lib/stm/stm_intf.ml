@@ -1,0 +1,46 @@
+(** Common signature of the two software transactional memories (baseline
+    NOrec and tagged NOrec), as consumed by the STAMP vacation port. *)
+
+type addr = Mt_core.Ctx.addr
+
+(** Raised inside a transaction body to force an abort-and-retry; client
+    code normally never needs it (conflicts are detected internally). *)
+exception Abort
+
+module type S = sig
+  type t
+
+  (** Per-attempt transaction handle. *)
+  type tx
+
+  val name : string
+
+  (** [create ctx] allocates the STM metadata (the global sequence lock). *)
+  val create : Mt_core.Ctx.t -> t
+
+  (** [atomically ctx t body] runs [body] as a transaction, retrying on
+      conflict until it commits; returns the body's result. Non-[Abort]
+      exceptions escape (after the attempt is discarded). *)
+  val atomically : Mt_core.Ctx.t -> t -> (tx -> 'a) -> 'a
+
+  (** Transactional read: checks the write buffer, then reads the location
+      and post-validates per NOrec. *)
+  val read : tx -> addr -> int
+
+  (** Transactional write: buffered until commit. *)
+  val write : tx -> addr -> int -> unit
+
+  (** The simulated-thread handle behind a transaction (e.g. to allocate
+      nodes for structures built inside transactions). *)
+  val ctx : tx -> Mt_core.Ctx.t
+
+  (** Cumulative statistics (host-level; reset with {!reset_stats}). *)
+  val commits : t -> int
+
+  val aborts : t -> int
+
+  (** Number of value-based-validation passes executed. *)
+  val vbv_passes : t -> int
+
+  val reset_stats : t -> unit
+end

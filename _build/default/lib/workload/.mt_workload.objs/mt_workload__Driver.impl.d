@@ -1,0 +1,1 @@
+lib/workload/driver.ml: Array Config Ctx Format Harness Machine Mt_core Mt_list Mt_sim Prng Spec Stats

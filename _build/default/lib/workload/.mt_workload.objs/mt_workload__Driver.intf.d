@@ -1,0 +1,1 @@
+lib/workload/driver.mli: Format Mt_core Mt_list Mt_sim Spec

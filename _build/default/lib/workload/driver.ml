@@ -1,0 +1,87 @@
+open Mt_sim
+open Mt_core
+
+type result = {
+  impl : string;
+  spec : Spec.t;
+  ops : int;
+  duration : int;
+  throughput : float;
+  l1_miss_rate : float;
+  energy : float;
+  energy_per_op : float;
+  validates : int;
+  validate_failures : int;
+  validate_failures_spurious : int;
+  cas_failures : int;
+  stats : Stats.t;
+}
+
+let run_custom ?cfg ~name ~setup ~op (spec : Spec.t) =
+  let cfg =
+    match cfg with Some c -> c | None -> Config.default ~num_cores:spec.threads ()
+  in
+  if cfg.Config.num_cores < spec.threads then
+    invalid_arg "Driver: machine has fewer cores than spec threads";
+  let m = Machine.create cfg in
+  let state = Harness.exec1 m ~seed:spec.seed (fun ctx -> setup ctx) in
+  let counts = Array.make spec.threads 0 in
+  let phase ~seed ~horizon ~record =
+    Harness.exec m ~seed ~threads:spec.threads (fun ctx ->
+        let ops = ref 0 in
+        while Ctx.now ctx < horizon do
+          op ctx state;
+          incr ops
+        done;
+        if record then counts.(Ctx.core ctx) <- !ops)
+  in
+  let (_ : int) =
+    phase ~seed:(spec.seed + 17) ~horizon:spec.warmup_cycles ~record:false
+  in
+  Machine.reset_stats m;
+  let duration =
+    phase ~seed:(spec.seed + 31) ~horizon:spec.measure_cycles ~record:true
+  in
+  let stats = Machine.total_stats m in
+  let ops = Array.fold_left ( + ) 0 counts in
+  let energy = Stats.energy cfg stats ~cycles:(duration * spec.threads) in
+  {
+    impl = name;
+    spec;
+    ops;
+    duration;
+    throughput = (if duration = 0 then 0.0 else 1000.0 *. float_of_int ops /. float_of_int duration);
+    l1_miss_rate = Stats.l1_miss_rate stats;
+    energy;
+    energy_per_op = (if ops = 0 then 0.0 else energy /. float_of_int ops);
+    validates = stats.Stats.validates;
+    validate_failures = stats.Stats.validate_failures;
+    validate_failures_spurious = stats.Stats.validate_failures_spurious;
+    cas_failures = stats.Stats.cas_failures;
+    stats;
+  }
+
+let run_set ?cfg (module S : Mt_list.Set_intf.SET) (spec : Spec.t) =
+  let setup ctx =
+    let s = S.create ctx in
+    let g = Prng.create ~seed:(spec.seed + 1) in
+    for k = 0 to spec.key_range - 1 do
+      if Prng.float g < spec.init_fill then ignore (S.insert ctx s k)
+    done;
+    s
+  in
+  let op ctx s =
+    let g = Ctx.prng ctx in
+    let k = Prng.int g spec.key_range in
+    let r = Prng.int g 100 in
+    if r < spec.insert_pct then ignore (S.insert ctx s k)
+    else if r < spec.insert_pct + spec.delete_pct then ignore (S.delete ctx s k)
+    else ignore (S.contains ctx s k)
+  in
+  run_custom ?cfg ~name:S.name ~setup ~op spec
+
+let pp_result ppf r =
+  Format.fprintf ppf
+    "%-14s %-22s ops %7d  thr %8.2f/kcyc  L1miss %5.2f%%  E/op %8.1f  vfail %d (spur %d)"
+    r.impl (Spec.to_string r.spec) r.ops r.throughput (100.0 *. r.l1_miss_rate)
+    r.energy_per_op r.validate_failures r.validate_failures_spurious

@@ -1,0 +1,40 @@
+(** Runs a {!Spec} against any {!Mt_list.Set_intf.SET} implementation and
+    extracts the three metrics the paper's figures report: throughput, L1
+    miss rate, and energy. *)
+
+type result = {
+  impl : string;
+  spec : Spec.t;
+  ops : int;                   (** operations completed in the window *)
+  duration : int;              (** actual simulated cycles of the window *)
+  throughput : float;          (** operations per 1000 cycles *)
+  l1_miss_rate : float;        (** misses / accesses, in [0,1] *)
+  energy : float;              (** total energy of the window (model units) *)
+  energy_per_op : float;
+  validates : int;
+  validate_failures : int;
+  validate_failures_spurious : int;
+  cas_failures : int;
+  stats : Mt_sim.Stats.t;      (** full aggregated counters of the window *)
+}
+
+(** [run_set ?cfg set spec] builds a fresh machine (default config sized to
+    [spec.threads] cores unless [cfg] is given), populates the structure,
+    runs a warmup window, resets counters, and measures. Deterministic in
+    [spec.seed]. *)
+val run_set :
+  ?cfg:Mt_sim.Config.t -> (module Mt_list.Set_intf.SET) -> Spec.t -> result
+
+(** [run_custom ?cfg ~name ~setup ~op spec] is the generic form used by the
+    STM/vacation benchmarks: [setup] builds the shared state on core 0;
+    [op] performs one logical operation (given the per-thread PRNG-equipped
+    ctx and the state). *)
+val run_custom :
+  ?cfg:Mt_sim.Config.t ->
+  name:string ->
+  setup:(Mt_core.Ctx.t -> 'a) ->
+  op:(Mt_core.Ctx.t -> 'a -> unit) ->
+  Spec.t ->
+  result
+
+val pp_result : Format.formatter -> result -> unit

@@ -1,0 +1,1 @@
+test/set_battery.ml: Alcotest Array Config Ctx Harness Int List Machine Mt_core Mt_list Mt_sim Prng Set Stats

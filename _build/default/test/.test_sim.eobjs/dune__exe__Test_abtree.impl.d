@@ -1,0 +1,1 @@
+test/test_abtree.ml: Alcotest Array Config Ctx Format Harness Int List Machine Mt_abtree Mt_core Mt_list Mt_sim Prng QCheck QCheck_alcotest Set Set_battery String

@@ -1,0 +1,1 @@
+test/test_kcas.ml: Alcotest Array Config Ctx Harness List Machine Mt_core Mt_kcas Mt_sim Prng

@@ -1,0 +1,1 @@
+test/test_lists.ml: Alcotest Array Config Ctx Harness List Machine Mt_core Mt_list Mt_sim Printf Prng Runtime Set_battery

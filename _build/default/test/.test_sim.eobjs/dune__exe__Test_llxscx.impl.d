@@ -1,0 +1,1 @@
+test/test_llxscx.ml: Alcotest Array Config Ctx Harness Machine Mt_core Mt_llxscx Mt_sim

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Cache Config Directory List Machine Memory Memtag_unit Mt_core Mt_sim Pqueue Prng QCheck QCheck_alcotest Runtime

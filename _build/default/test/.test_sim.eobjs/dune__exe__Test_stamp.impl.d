@@ -1,0 +1,1 @@
+test/test_stamp.ml: Alcotest Config Ctx Harness Int List Machine Mt_core Mt_sim Mt_stamp Mt_stm Prng Stdlib

@@ -1,0 +1,1 @@
+test/test_stm.ml: Alcotest Config Ctx Harness List Machine Mt_core Mt_sim Mt_stm Prng Runtime

@@ -1,0 +1,138 @@
+(* Generic correctness battery applicable to any Set_intf.SET
+   implementation (lists, trees, skip lists). Shared by all test
+   executables in this directory. *)
+
+open Mt_sim
+open Mt_core
+
+let check_bool = Alcotest.(check bool)
+
+let machine ?(cores = 8) () = Machine.create (Config.default ~num_cores:cores ())
+
+module Oracle = Set.Make (Int)
+
+module Make (S : Mt_list.Set_intf.SET) = struct
+  let test_empty () =
+    let m = machine () in
+    Harness.exec1 m (fun ctx ->
+        let s = S.create ctx in
+        check_bool "empty contains" false (S.contains ctx s 5);
+        check_bool "empty delete" false (S.delete ctx s 5))
+
+  let test_insert_delete_contains () =
+    let m = machine () in
+    Harness.exec1 m (fun ctx ->
+        let s = S.create ctx in
+        check_bool "insert new" true (S.insert ctx s 10);
+        check_bool "insert dup" false (S.insert ctx s 10);
+        check_bool "contains" true (S.contains ctx s 10);
+        check_bool "contains absent" false (S.contains ctx s 11);
+        check_bool "delete" true (S.delete ctx s 10);
+        check_bool "delete again" false (S.delete ctx s 10);
+        check_bool "gone" false (S.contains ctx s 10))
+
+  let test_ordering () =
+    let m = machine () in
+    let s =
+      Harness.exec1 m (fun ctx ->
+          let s = S.create ctx in
+          List.iter (fun k -> ignore (S.insert ctx s k)) [ 5; 1; 9; 3; 7; 2; 8; 4; 6; 0 ];
+          ignore (S.delete ctx s 5);
+          ignore (S.delete ctx s 0);
+          s)
+    in
+    Alcotest.(check (list int))
+      "sorted contents" [ 1; 2; 3; 4; 6; 7; 8; 9 ]
+      (S.to_list_unsafe m s)
+
+  (* Randomized single-thread run against the stdlib Set oracle: every
+     operation's return value and the final contents must agree. *)
+  let sequential_oracle ~ops ~range () =
+    let m = machine () in
+    Harness.exec1 m (fun ctx ->
+        let s = S.create ctx in
+        let g = Prng.create ~seed:2024 in
+        let oracle = ref Oracle.empty in
+        for _ = 1 to ops do
+          let k = Prng.int g range in
+          match Prng.int g 3 with
+          | 0 ->
+              let expected = not (Oracle.mem k !oracle) in
+              check_bool "insert result" expected (S.insert ctx s k);
+              oracle := Oracle.add k !oracle
+          | 1 ->
+              let expected = Oracle.mem k !oracle in
+              check_bool "delete result" expected (S.delete ctx s k);
+              oracle := Oracle.remove k !oracle
+          | _ ->
+              check_bool "contains result" (Oracle.mem k !oracle) (S.contains ctx s k)
+        done;
+        check_bool "final contents" true
+          (S.to_list_unsafe (Ctx.machine ctx) s = Oracle.elements !oracle))
+
+  let test_sequential_oracle () = sequential_oracle ~ops:2000 ~range:50 ()
+
+  (* Concurrent accounting check. Because insert/delete return true exactly
+     when they change membership, for every key the net count of successful
+     inserts minus deletes must be 0 or 1 and equal final membership.
+     Returns the machine and structure for variant-specific follow-ups. *)
+  let concurrent_accounting ~threads ~range ~ops () =
+    let m = machine ~cores:threads () in
+    let s = Harness.exec1 m (fun ctx -> S.create ctx) in
+    let ins = Array.make range 0 and del = Array.make range 0 in
+    let (_ : int) =
+      Harness.exec m ~seed:7 ~threads (fun ctx ->
+          let g = Ctx.prng ctx in
+          for _ = 1 to ops do
+            let k = Prng.int g range in
+            if Prng.bool g then begin
+              if S.insert ctx s k then ins.(k) <- ins.(k) + 1
+            end
+            else if S.delete ctx s k then del.(k) <- del.(k) + 1
+          done)
+    in
+    let final = S.to_list_unsafe m s in
+    List.iter (fun k -> check_bool "final key in range" true (k >= 0 && k < range)) final;
+    let sorted_unique l = List.sort_uniq compare l = l in
+    check_bool "final sorted unique" true (sorted_unique final);
+    for k = 0 to range - 1 do
+      let net = ins.(k) - del.(k) in
+      check_bool "net in {0,1}" true (net = 0 || net = 1);
+      check_bool "membership matches net" true (List.mem k final = (net = 1))
+    done;
+    (m, s)
+
+  let test_concurrent_small () =
+    ignore (concurrent_accounting ~threads:4 ~range:16 ~ops:300 ())
+
+  let test_concurrent_large () =
+    ignore (concurrent_accounting ~threads:8 ~range:128 ~ops:400 ())
+
+  let test_determinism () =
+    let run () =
+      let m = machine ~cores:4 () in
+      let s = Harness.exec1 m (fun ctx -> S.create ctx) in
+      let d =
+        Harness.exec m ~seed:13 ~threads:4 (fun ctx ->
+            let g = Ctx.prng ctx in
+            for _ = 1 to 200 do
+              let k = Prng.int g 32 in
+              if Prng.bool g then ignore (S.insert ctx s k)
+              else ignore (S.delete ctx s k)
+            done)
+      in
+      (d, S.to_list_unsafe m s, (Machine.total_stats m).Stats.l1_misses)
+    in
+    check_bool "bit-identical reruns" true (run () = run ())
+
+  let cases =
+    [
+      Alcotest.test_case "empty" `Quick test_empty;
+      Alcotest.test_case "insert/delete/contains" `Quick test_insert_delete_contains;
+      Alcotest.test_case "ordering" `Quick test_ordering;
+      Alcotest.test_case "sequential oracle" `Quick test_sequential_oracle;
+      Alcotest.test_case "concurrent 4x16" `Quick test_concurrent_small;
+      Alcotest.test_case "concurrent 8x128" `Slow test_concurrent_large;
+      Alcotest.test_case "determinism" `Quick test_determinism;
+    ]
+end

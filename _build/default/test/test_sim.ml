@@ -1,0 +1,845 @@
+(* Unit and property tests for the simulator substrate (lib/sim):
+   PRNG, priority queue, memory, cache array, directory, MemTag unit,
+   runtime scheduling, and the Machine coherence protocol itself. *)
+
+open Mt_sim
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* ------------------------------------------------------------------ *)
+(* Prng *)
+
+let test_prng_deterministic () =
+  let a = Prng.create ~seed:42 and b = Prng.create ~seed:42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Prng.next a) (Prng.next b)
+  done
+
+let test_prng_split_independent () =
+  let a = Prng.create ~seed:42 in
+  let c = Prng.split a in
+  let x = Prng.next a and y = Prng.next c in
+  check_bool "split streams differ" true (x <> y)
+
+let test_prng_int_bounds () =
+  let a = Prng.create ~seed:7 in
+  for _ = 1 to 1000 do
+    let v = Prng.int a 17 in
+    check_bool "in range" true (v >= 0 && v < 17)
+  done;
+  Alcotest.check_raises "bound 0" (Invalid_argument "Prng.int: bound must be positive")
+    (fun () -> ignore (Prng.int a 0))
+
+let prop_prng_float_range =
+  QCheck.Test.make ~name:"prng float in [0,1)" ~count:500 QCheck.small_int (fun seed ->
+      let g = Prng.create ~seed in
+      let f = Prng.float g in
+      f >= 0.0 && f < 1.0)
+
+(* ------------------------------------------------------------------ *)
+(* Pqueue *)
+
+let test_pqueue_order () =
+  let q = Pqueue.create () in
+  Pqueue.add q ~time:5 ~tie:0 "e";
+  Pqueue.add q ~time:1 ~tie:1 "a";
+  Pqueue.add q ~time:3 ~tie:0 "c";
+  Pqueue.add q ~time:1 ~tie:0 "b";
+  let pop () =
+    let _, _, v = Pqueue.pop_min q in
+    v
+  in
+  let p1 = pop () in
+  let p2 = pop () in
+  let p3 = pop () in
+  let p4 = pop () in
+  Alcotest.(check (list string))
+    "sorted by (time,tie)" [ "b"; "a"; "c"; "e" ] [ p1; p2; p3; p4 ];
+  check_bool "empty" true (Pqueue.is_empty q)
+
+let prop_pqueue_sorted =
+  QCheck.Test.make ~name:"pqueue pops sorted" ~count:200
+    QCheck.(list (pair small_nat small_nat))
+    (fun entries ->
+      let q = Pqueue.create () in
+      List.iter (fun (t, tie) -> Pqueue.add q ~time:t ~tie ()) entries;
+      let rec drain prev =
+        if Pqueue.is_empty q then true
+        else
+          let t, tie, () = Pqueue.pop_min q in
+          match prev with
+          | Some (pt, ptie) when (t, tie) < (pt, ptie) -> false
+          | _ -> drain (Some (t, tie))
+      in
+      drain None)
+
+(* ------------------------------------------------------------------ *)
+(* Memory *)
+
+let test_memory_alloc_aligned () =
+  let cfg = Config.default () in
+  let mem = Memory.create cfg in
+  let a = Memory.alloc mem ~words:3 in
+  let b = Memory.alloc mem ~words:1 in
+  check_bool "a line aligned" true (a mod Config.line_words cfg = 0);
+  check_bool "b line aligned" true (b mod Config.line_words cfg = 0);
+  check_bool "no line sharing" true
+    (Config.line_of_addr cfg a <> Config.line_of_addr cfg b);
+  check_bool "null is 0 and unallocated" true (a > 0 && b > 0)
+
+let test_memory_rw () =
+  let cfg = Config.default () in
+  let mem = Memory.create cfg in
+  let a = Memory.alloc mem ~words:8 in
+  check_int "zero initialised" 0 (Memory.get mem (a + 3));
+  Memory.set mem (a + 3) 12345;
+  check_int "set/get" 12345 (Memory.get mem (a + 3))
+
+let test_memory_bounds () =
+  let cfg = Config.default () in
+  let mem = Memory.create cfg in
+  let _ = Memory.alloc mem ~words:8 in
+  Alcotest.check_raises "null deref"
+    (Invalid_argument "Memory: address 0 out of bounds") (fun () ->
+      ignore (Memory.get mem 0))
+
+let test_memory_growth () =
+  let cfg = Config.default () in
+  let mem = Memory.create cfg in
+  (* Allocate past the initial chunk capacity and touch the far end. *)
+  let a = Memory.alloc mem ~words:(1 lsl 20) in
+  Memory.set mem (a + (1 lsl 20) - 1) 99;
+  check_int "far word" 99 (Memory.get mem (a + (1 lsl 20) - 1))
+
+(* ------------------------------------------------------------------ *)
+(* Cache *)
+
+let test_cache_insert_find () =
+  let c = Cache.create ~sets_log2:2 ~ways:2 in
+  check_bool "initially absent" true (Cache.find c 12 = Cache.I);
+  ignore (Cache.insert c 12 Cache.S);
+  check_bool "present S" true (Cache.find c 12 = Cache.S);
+  Cache.set_state c 12 Cache.M;
+  check_bool "upgraded M" true (Cache.find c 12 = Cache.M);
+  Cache.remove c 12;
+  check_bool "removed" true (Cache.find c 12 = Cache.I)
+
+let test_cache_lru_eviction () =
+  (* 1 set (sets_log2 0... use 0), 2 ways: third insert evicts LRU. *)
+  let c = Cache.create ~sets_log2:0 ~ways:2 in
+  ignore (Cache.insert c 1 Cache.S);
+  ignore (Cache.insert c 2 Cache.S);
+  Cache.touch c 1;
+  (* 2 is now LRU *)
+  match Cache.insert c 3 Cache.S with
+  | Some (victim, Cache.S) -> check_int "evicts LRU" 2 victim
+  | _ -> Alcotest.fail "expected eviction of line 2"
+
+let test_cache_set_isolation () =
+  (* Lines mapping to different sets never evict each other. *)
+  let c = Cache.create ~sets_log2:1 ~ways:1 in
+  ignore (Cache.insert c 2 Cache.S);
+  (* set 0 *)
+  ignore (Cache.insert c 3 Cache.S);
+  (* set 1 *)
+  check_bool "both resident" true
+    (Cache.find c 2 = Cache.S && Cache.find c 3 = Cache.S)
+
+let test_cache_population () =
+  let c = Cache.create ~sets_log2:3 ~ways:4 in
+  for i = 0 to 9 do
+    ignore (Cache.insert c i Cache.E)
+  done;
+  check_int "population" 10 (Cache.population c)
+
+(* ------------------------------------------------------------------ *)
+(* Directory *)
+
+let test_directory_basics () =
+  let d = Directory.create () in
+  check_bool "uncached" true (Directory.sharing d 7 = Directory.Uncached);
+  Directory.add_sharer d 7 2;
+  Directory.add_sharer d 7 5;
+  Alcotest.(check (list int)) "others of 2" [ 5 ] (Directory.others d 7 2);
+  Directory.drop d 7 5;
+  check_bool "shared [2]" true (Directory.sharing d 7 = Directory.Shared [ 2 ]);
+  Directory.drop d 7 2;
+  check_bool "back to uncached" true (Directory.sharing d 7 = Directory.Uncached)
+
+let test_directory_excl () =
+  let d = Directory.create () in
+  Directory.set d 9 (Directory.Excl 3);
+  Alcotest.(check (list int)) "others excl" [ 3 ] (Directory.others d 9 0);
+  Alcotest.(check (list int)) "owner sees none" [] (Directory.others d 9 3);
+  Alcotest.check_raises "add_sharer on excl"
+    (Invalid_argument "Directory.add_sharer: line is exclusively owned")
+    (fun () -> Directory.add_sharer d 9 1)
+
+(* ------------------------------------------------------------------ *)
+(* Memtag_unit *)
+
+let test_tags_validate_ok () =
+  let u = Memtag_unit.create ~max_tags:4 in
+  Memtag_unit.add u 1;
+  Memtag_unit.add u 2;
+  check_bool "ok" true (Memtag_unit.check u = Memtag_unit.Ok);
+  check_int "count" 2 (Memtag_unit.count u)
+
+let test_tags_conflict_fails () =
+  let u = Memtag_unit.create ~max_tags:4 in
+  Memtag_unit.add u 1;
+  Memtag_unit.on_evict u 1 Memtag_unit.Conflict;
+  check_bool "conflict" true (Memtag_unit.check u = Memtag_unit.Fail_conflict)
+
+let test_tags_capacity_is_spurious () =
+  let u = Memtag_unit.create ~max_tags:4 in
+  Memtag_unit.add u 1;
+  Memtag_unit.on_evict u 1 Memtag_unit.Capacity;
+  check_bool "spurious" true (Memtag_unit.check u = Memtag_unit.Fail_spurious)
+
+let test_tags_conflict_supersedes_capacity () =
+  let u = Memtag_unit.create ~max_tags:4 in
+  Memtag_unit.add u 1;
+  Memtag_unit.on_evict u 1 Memtag_unit.Capacity;
+  Memtag_unit.on_evict u 1 Memtag_unit.Conflict;
+  check_bool "upgraded to conflict" true
+    (Memtag_unit.check u = Memtag_unit.Fail_conflict)
+
+let test_tags_remove_clears_eviction () =
+  let u = Memtag_unit.create ~max_tags:4 in
+  Memtag_unit.add u 1;
+  Memtag_unit.add u 2;
+  Memtag_unit.on_evict u 1 Memtag_unit.Conflict;
+  Memtag_unit.remove u 1;
+  check_bool "untagged eviction forgotten" true (Memtag_unit.check u = Memtag_unit.Ok)
+
+let test_tags_overflow_latches () =
+  let u = Memtag_unit.create ~max_tags:2 in
+  Memtag_unit.add u 1;
+  Memtag_unit.add u 2;
+  Memtag_unit.add u 3;
+  check_bool "overflow fails spuriously" true
+    (Memtag_unit.check u = Memtag_unit.Fail_spurious);
+  Memtag_unit.remove u 3;
+  check_bool "overflow latched after remove" true
+    (Memtag_unit.check u = Memtag_unit.Fail_spurious);
+  Memtag_unit.clear u;
+  check_bool "clear resets overflow" true (Memtag_unit.check u = Memtag_unit.Ok)
+
+let test_tags_untagged_eviction_ignored () =
+  let u = Memtag_unit.create ~max_tags:4 in
+  Memtag_unit.on_evict u 42 Memtag_unit.Conflict;
+  check_bool "still ok" true (Memtag_unit.check u = Memtag_unit.Ok)
+
+(* ------------------------------------------------------------------ *)
+(* Runtime *)
+
+let test_runtime_interleaving () =
+  (* Two fibers stalling different amounts interleave by simulated time. *)
+  let order = ref [] in
+  let rt = Runtime.create () in
+  Runtime.spawn rt (fun () ->
+      Runtime.stall 10;
+      order := `A10 :: !order;
+      Runtime.stall 20;
+      order := `A30 :: !order);
+  Runtime.spawn rt (fun () ->
+      Runtime.stall 15;
+      order := `B15 :: !order;
+      Runtime.stall 1;
+      order := `B16 :: !order);
+  Runtime.run rt;
+  check_bool "order by simulated time" true
+    (List.rev !order = [ `A10; `B15; `B16; `A30 ])
+
+let test_runtime_tie_break_by_tid () =
+  let order = ref [] in
+  let rt = Runtime.create () in
+  Runtime.spawn rt (fun () ->
+      Runtime.stall 5;
+      order := 0 :: !order);
+  Runtime.spawn rt (fun () ->
+      Runtime.stall 5;
+      order := 1 :: !order);
+  Runtime.run rt;
+  Alcotest.(check (list int)) "lower tid first on tie" [ 0; 1 ] (List.rev !order)
+
+let test_runtime_now_final () =
+  let rt = Runtime.create () in
+  Runtime.spawn rt (fun () -> Runtime.stall 123);
+  Runtime.run rt;
+  check_int "final clock" 123 (Runtime.now ())
+
+let test_runtime_exception_propagates () =
+  let rt = Runtime.create () in
+  Runtime.spawn rt (fun () ->
+      Runtime.stall 1;
+      failwith "boom");
+  Alcotest.check_raises "fiber exception" (Failure "boom") (fun () -> Runtime.run rt);
+  (* The runtime must be reusable after a failed run. *)
+  let rt2 = Runtime.create () in
+  Runtime.spawn rt2 (fun () -> Runtime.stall 1);
+  Runtime.run rt2
+
+(* ------------------------------------------------------------------ *)
+(* Machine: MESI transitions, latency, tags. *)
+
+let machine ?(cores = 4) () = Machine.create (Config.default ~num_cores:cores ())
+
+let test_machine_read_write_roundtrip () =
+  let m = machine () in
+  let a = Machine.alloc m ~words:8 in
+  Mt_core.Harness.exec1 m (fun ctx ->
+      Mt_core.Ctx.write ctx a 77;
+      check_int "roundtrip" 77 (Mt_core.Ctx.read ctx a))
+
+let test_machine_cold_then_hot_latency () =
+  let m = machine () in
+  let a = Machine.alloc m ~words:8 in
+  let cfg = Machine.cfg m in
+  let _, lat_cold = Machine.read m ~core:0 a in
+  let _, lat_hot = Machine.read m ~core:0 a in
+  check_int "cold read = dir + mem" (cfg.lat_dir + cfg.lat_mem) lat_cold;
+  check_int "hot read = L1 hit" cfg.lat_l1 lat_hot
+
+let test_machine_read_sharing () =
+  let m = machine () in
+  let a = Machine.alloc m ~words:8 in
+  let _ = Machine.read m ~core:0 a in
+  let _ = Machine.read m ~core:1 a in
+  (* Both cores now share; a write by core 2 invalidates both. *)
+  let s0 = Machine.stats m ~core:0 and s1 = Machine.stats m ~core:1 in
+  let _ = Machine.write m ~core:2 a 5 in
+  check_int "core0 invalidated" 1 s0.invalidations_received;
+  check_int "core1 invalidated" 1 s1.invalidations_received;
+  (* Re-read by core 0 misses again. *)
+  let before = s0.l1_misses in
+  let v, _ = Machine.read m ~core:0 a in
+  check_int "sees new value" 5 v;
+  check_int "miss after invalidation" (before + 1) s0.l1_misses
+
+let test_machine_dirty_transfer () =
+  let m = machine () in
+  let a = Machine.alloc m ~words:8 in
+  let cfg = Machine.cfg m in
+  let _ = Machine.write m ~core:0 a 9 in
+  (* Core 1 reads: dirty line is downgraded at core 0, not invalidated. *)
+  let v, lat = Machine.read m ~core:1 a in
+  check_int "dirty value visible" 9 v;
+  check_int "remote transfer latency" (cfg.lat_dir + cfg.lat_remote) lat;
+  check_int "downgrade received" 1 (Machine.stats m ~core:0).downgrades_received;
+  (* Core 0 still hits locally afterwards. *)
+  let _, lat0 = Machine.read m ~core:0 a in
+  check_int "still hits after downgrade" cfg.lat_l1 lat0
+
+let test_machine_upgrade_from_shared () =
+  let m = machine () in
+  let a = Machine.alloc m ~words:8 in
+  let _ = Machine.read m ~core:0 a in
+  let _ = Machine.read m ~core:1 a in
+  let lat = Machine.write m ~core:0 a 1 in
+  let cfg = Machine.cfg m in
+  check_int "upgrade latency (store-buffer capped)"
+    (min
+       (cfg.lat_l1 + cfg.lat_dir + cfg.lat_inval + cfg.lat_inval_per_sharer)
+       cfg.lat_store_buffered)
+    lat;
+  check_int "sharer invalidated" 1 (Machine.stats m ~core:1).invalidations_received
+
+let test_machine_cas_semantics () =
+  let m = machine () in
+  let a = Machine.alloc m ~words:8 in
+  let ok, _ = Machine.cas m ~core:0 a ~expected:0 ~desired:5 in
+  check_bool "cas succeeds" true ok;
+  let ok, _ = Machine.cas m ~core:1 a ~expected:0 ~desired:6 in
+  check_bool "stale cas fails" false ok;
+  check_int "value unchanged by failed cas" 5 (Machine.peek m a);
+  check_int "failure counted" 1 (Machine.stats m ~core:1).cas_failures
+
+let test_machine_faa () =
+  let m = machine () in
+  let a = Machine.alloc m ~words:8 in
+  let v0, _ = Machine.faa m ~core:0 a 3 in
+  let v1, _ = Machine.faa m ~core:1 a 4 in
+  check_int "faa old 0" 0 v0;
+  check_int "faa old 3" 3 v1;
+  check_int "total" 7 (Machine.peek m a)
+
+let test_machine_tag_validate_conflict () =
+  let m = machine () in
+  let a = Machine.alloc m ~words:8 in
+  let _ = Machine.add_tag m ~core:0 a ~words:8 in
+  let ok, _ = Machine.validate m ~core:0 in
+  check_bool "valid before write" true ok;
+  let _ = Machine.write m ~core:1 a 1 in
+  let ok, _ = Machine.validate m ~core:0 in
+  check_bool "invalid after remote write" false ok;
+  check_int "not spurious" 0 (Machine.stats m ~core:0).validate_failures_spurious
+
+let test_machine_tag_read_does_not_invalidate () =
+  let m = machine () in
+  let a = Machine.alloc m ~words:8 in
+  let _ = Machine.add_tag m ~core:0 a ~words:8 in
+  let _ = Machine.read m ~core:1 a in
+  let ok, _ = Machine.validate m ~core:0 in
+  check_bool "remote read keeps tag valid" true ok
+
+let test_machine_own_write_keeps_tag () =
+  let m = machine () in
+  let a = Machine.alloc m ~words:8 in
+  let _ = Machine.add_tag m ~core:0 a ~words:8 in
+  let _ = Machine.write m ~core:0 a 3 in
+  let ok, _ = Machine.validate m ~core:0 in
+  check_bool "own write keeps own tag" true ok
+
+let test_machine_vas_fail_fast_no_traffic () =
+  let m = machine () in
+  let a = Machine.alloc m ~words:8 in
+  let b = Machine.alloc m ~words:8 in
+  let _ = Machine.add_tag m ~core:0 a ~words:8 in
+  let _ = Machine.write m ~core:1 a 1 in
+  let msgs_before = (Machine.stats m ~core:0).coherence_msgs in
+  let ok, lat = Machine.vas m ~core:0 b 42 in
+  check_bool "vas fails" false ok;
+  check_int "vas fail is local" (Machine.cfg m).lat_validate lat;
+  check_int "no coherence traffic" msgs_before (Machine.stats m ~core:0).coherence_msgs;
+  check_int "target untouched" 0 (Machine.peek m b)
+
+let test_machine_vas_success_updates () =
+  let m = machine () in
+  let a = Machine.alloc m ~words:8 in
+  let _ = Machine.add_tag m ~core:0 a ~words:8 in
+  let ok, _ = Machine.vas m ~core:0 a 42 in
+  check_bool "vas succeeds" true ok;
+  check_int "value stored" 42 (Machine.peek m a)
+
+let test_machine_vas_invalidates_remote_tags () =
+  let m = machine () in
+  let a = Machine.alloc m ~words:8 in
+  let _ = Machine.add_tag m ~core:1 a ~words:8 in
+  let _ = Machine.add_tag m ~core:0 a ~words:8 in
+  let ok, _ = Machine.vas m ~core:0 a 1 in
+  check_bool "writer vas ok" true ok;
+  let ok1, _ = Machine.validate m ~core:1 in
+  check_bool "victim tag dead" false ok1
+
+let test_machine_ias_invalidates_all_tagged () =
+  let m = machine () in
+  let a = Machine.alloc m ~words:8 in
+  let b = Machine.alloc m ~words:8 in
+  (* Core 1 tags only [b]; core 0 tags both and IASes a store to [a].
+     The IAS must invalidate [b] at core 1 even though the store is to [a]. *)
+  let _ = Machine.add_tag m ~core:1 b ~words:8 in
+  let _ = Machine.add_tag m ~core:0 a ~words:8 in
+  let _ = Machine.add_tag m ~core:0 b ~words:8 in
+  let ok, _ = Machine.ias m ~core:0 a 7 in
+  check_bool "ias ok" true ok;
+  check_int "stored" 7 (Machine.peek m a);
+  let ok1, _ = Machine.validate m ~core:1 in
+  check_bool "remote tag on b invalidated" false ok1
+
+let test_machine_vas_does_not_invalidate_unrelated () =
+  (* VAS only takes the target line; a remote tag on a different line
+     survives — precisely why the HoH list needs IAS (Figure 1). *)
+  let m = machine () in
+  let a = Machine.alloc m ~words:8 in
+  let b = Machine.alloc m ~words:8 in
+  let _ = Machine.add_tag m ~core:1 b ~words:8 in
+  let _ = Machine.add_tag m ~core:0 a ~words:8 in
+  let _ = Machine.add_tag m ~core:0 b ~words:8 in
+  let ok, _ = Machine.vas m ~core:0 a 7 in
+  check_bool "vas ok" true ok;
+  let ok1, _ = Machine.validate m ~core:1 in
+  check_bool "unrelated remote tag survives vas" true ok1
+
+let test_machine_tag_overflow () =
+  let cfg = { (Config.default ~num_cores:2 ()) with max_tags = 3 } in
+  let m = Machine.create cfg in
+  let addrs = List.init 5 (fun _ -> Machine.alloc m ~words:8) in
+  List.iter (fun a -> ignore (Machine.add_tag m ~core:0 a ~words:1)) addrs;
+  let ok, _ = Machine.validate m ~core:0 in
+  check_bool "overflowed validation fails" false ok;
+  check_int "spurious" 1 (Machine.stats m ~core:0).validate_failures_spurious;
+  let _ = Machine.clear_tag_set m ~core:0 in
+  let ok, _ = Machine.validate m ~core:0 in
+  check_bool "clear resets" true ok
+
+let test_machine_capacity_eviction_spurious () =
+  (* Tiny L1: touching many lines evicts the tagged one by capacity. *)
+  let cfg =
+    { (Config.default ~num_cores:1 ()) with l1_sets_log2 = 0; l1_ways = 2 }
+  in
+  let m = Machine.create cfg in
+  let tagged = Machine.alloc m ~words:8 in
+  let _ = Machine.add_tag m ~core:0 tagged ~words:1 in
+  for _ = 1 to 4 do
+    let a = Machine.alloc m ~words:8 in
+    ignore (Machine.read m ~core:0 a)
+  done;
+  let ok, _ = Machine.validate m ~core:0 in
+  check_bool "capacity eviction fails validation" false ok;
+  check_int "classified spurious" 1
+    (Machine.stats m ~core:0).validate_failures_spurious
+
+let test_machine_l2_inclusion_back_invalidates () =
+  (* L1 big enough, L2 tiny: L2 eviction must remove the L1 copy too. *)
+  let cfg =
+    {
+      (Config.default ~num_cores:1 ()) with
+      l1_sets_log2 = 0;
+      l1_ways = 8;
+      l2_sets_log2 = 0;
+      l2_ways = 2;
+    }
+  in
+  let m = Machine.create cfg in
+  let a = Machine.alloc m ~words:8 in
+  let _ = Machine.add_tag m ~core:0 a ~words:1 in
+  for _ = 1 to 3 do
+    let b = Machine.alloc m ~words:8 in
+    ignore (Machine.read m ~core:0 b)
+  done;
+  let ok, _ = Machine.validate m ~core:0 in
+  check_bool "inclusion victim kills tag" false ok
+
+let test_machine_remove_tag_then_conflict_ok () =
+  let m = machine () in
+  let a = Machine.alloc m ~words:8 in
+  let b = Machine.alloc m ~words:8 in
+  let _ = Machine.add_tag m ~core:0 a ~words:1 in
+  let _ = Machine.add_tag m ~core:0 b ~words:1 in
+  let _ = Machine.remove_tag m ~core:0 a ~words:1 in
+  let _ = Machine.write m ~core:1 a 1 in
+  let ok, _ = Machine.validate m ~core:0 in
+  check_bool "conflict on untagged line ignored" true ok
+
+(* Property: a random mix of reads/writes through the machine always
+   matches a plain shadow array (the timing model must never corrupt
+   functional memory). *)
+let prop_machine_matches_shadow =
+  QCheck.Test.make ~name:"machine memory matches shadow" ~count:50
+    QCheck.(pair small_int (list (tup3 (int_bound 3) (int_bound 63) (int_bound 1000))))
+    (fun (seed, ops) ->
+      let m = machine () in
+      let base = Machine.alloc m ~words:64 in
+      let shadow = Array.make 64 0 in
+      let g = Prng.create ~seed in
+      List.for_all
+        (fun (core, off, v) ->
+          match Prng.int g 3 with
+          | 0 ->
+              let got, _ = Machine.read m ~core (base + off) in
+              got = shadow.(off)
+          | 1 ->
+              let _ = Machine.write m ~core (base + off) v in
+              shadow.(off) <- v;
+              true
+          | _ ->
+              let expected = shadow.(off) in
+              let ok, _ = Machine.cas m ~core (base + off) ~expected ~desired:v in
+              if ok then shadow.(off) <- v;
+              ok)
+        ops)
+
+(* Property: after any access sequence, for every line the directory and the
+   cache states agree (single owner for M/E; all sharers actually have it). *)
+let prop_machine_coherence_invariant =
+  QCheck.Test.make ~name:"directory/cache agreement" ~count:50
+    QCheck.(list (tup3 (int_bound 3) (int_bound 31) bool))
+    (fun ops ->
+      let m = machine () in
+      let base = Machine.alloc m ~words:256 in
+      List.iter
+        (fun (core, line_off, is_write) ->
+          let a = base + (8 * line_off) in
+          if is_write then ignore (Machine.write m ~core a 1)
+          else ignore (Machine.read m ~core a))
+        ops;
+      (* Cross-check via observable behaviour: every core can read every
+         line and sees the functional memory value. *)
+      List.for_all
+        (fun off ->
+          let a = base + (8 * off) in
+          let expect = Machine.peek m a in
+          List.for_all
+            (fun core ->
+              let v, _ = Machine.read m ~core a in
+              v = expect)
+            [ 0; 1; 2; 3 ])
+        (List.init 32 (fun i -> i)))
+
+(* ------------------------------------------------------------------ *)
+(* Harness / Ctx *)
+
+let test_harness_threads_interleave () =
+  let m = machine () in
+  let counter = Machine.alloc m ~words:1 in
+  let _ =
+    Mt_core.Harness.exec m ~threads:4 (fun ctx ->
+        for _ = 1 to 100 do
+          (* Atomic increments from 4 fibers must not lose updates. *)
+          let rec incr () =
+            let v = Mt_core.Ctx.read ctx counter in
+            if not (Mt_core.Ctx.cas ctx counter ~expected:v ~desired:(v + 1)) then
+              incr ()
+          in
+          incr ()
+        done)
+  in
+  check_int "no lost updates" 400 (Machine.peek m counter)
+
+let test_harness_duration_positive () =
+  let m = machine () in
+  let a = Machine.alloc m ~words:8 in
+  let d =
+    Mt_core.Harness.exec m ~threads:2 (fun ctx ->
+        for _ = 1 to 10 do
+          Mt_core.Ctx.write ctx a 1
+        done)
+  in
+  check_bool "duration > 0" true (d > 0)
+
+let test_harness_determinism () =
+  let run () =
+    let m = machine () in
+    let a = Machine.alloc m ~words:8 in
+    let d =
+      Mt_core.Harness.exec m ~seed:99 ~threads:4 (fun ctx ->
+          for _ = 1 to 50 do
+            let v = Mt_core.Ctx.read ctx a in
+            ignore (Mt_core.Ctx.cas ctx a ~expected:v ~desired:(v + 1))
+          done)
+    in
+    (d, Machine.peek m a, (Machine.total_stats m).l1_misses)
+  in
+  let r1 = run () and r2 = run () in
+  check_bool "identical runs" true (r1 = r2)
+
+let test_mode_line () =
+  let m = machine () in
+  let mode = Mt_core.Mode.create m in
+  Mt_core.Harness.exec1 m (fun ctx ->
+      check_bool "starts fast" true (Mt_core.Mode.is_fast ctx mode);
+      Mt_core.Mode.set_slow ctx mode;
+      check_bool "slow" false (Mt_core.Mode.is_fast ctx mode);
+      Mt_core.Mode.set_fast ctx mode;
+      check_bool "fast again" true (Mt_core.Mode.is_fast ctx mode))
+
+let test_mode_flip_invalidates_taggers () =
+  let m = machine () in
+  let mode = Mt_core.Mode.create m in
+  let _ = Machine.add_tag m ~core:0 (Mt_core.Mode.addr mode) ~words:1 in
+  let _ = Machine.write m ~core:1 (Mt_core.Mode.addr mode) Mt_core.Mode.slow in
+  let ok, _ = Machine.validate m ~core:0 in
+  check_bool "fast-path tagger aborted by mode flip" false ok
+
+(* ------------------------------------------------------------------ *)
+(* Model edge cases. *)
+
+let test_store_buffer_cap () =
+  (* A plain store to a widely shared line is capped for the issuer, but a
+     CAS to the same situation pays the full serialized latency. *)
+  let m = machine () in
+  let a = Machine.alloc m ~words:8 in
+  let cfg = Machine.cfg m in
+  let share () =
+    for core = 0 to 3 do
+      ignore (Machine.read m ~core a)
+    done
+  in
+  share ();
+  let wlat = Machine.write m ~core:0 a 1 in
+  check_bool "store capped" true (wlat <= cfg.lat_store_buffered);
+  share ();
+  let _, clat = Machine.cas m ~core:0 a ~expected:1 ~desired:2 in
+  check_bool "cas uncapped" true (clat > cfg.lat_store_buffered)
+
+let test_inval_latency_scales_with_sharers () =
+  let lat_with_sharers n =
+    let m = machine ~cores:4 () in
+    let a = Machine.alloc m ~words:8 in
+    for core = 1 to n do
+      ignore (Machine.read m ~core a)
+    done;
+    (* CAS so the latency is not store-buffer capped. *)
+    let _, lat = Machine.cas m ~core:0 a ~expected:0 ~desired:1 in
+    lat
+  in
+  check_bool "3 sharers cost more than 1" true (lat_with_sharers 3 > lat_with_sharers 1)
+
+let test_downgrade_keeps_tag_but_write_kills_it () =
+  let m = machine () in
+  let a = Machine.alloc m ~words:8 in
+  let _ = Machine.write m ~core:0 a 5 in
+  (* Line is M at core 0; tag it, then have core 1 read (downgrade). *)
+  let _ = Machine.add_tag m ~core:0 a ~words:1 in
+  let _ = Machine.read m ~core:1 a in
+  let ok, _ = Machine.validate m ~core:0 in
+  check_bool "downgrade keeps tag" true ok;
+  let _ = Machine.write m ~core:1 a 6 in
+  let ok, _ = Machine.validate m ~core:0 in
+  check_bool "subsequent write kills it" false ok
+
+let test_ias_self_only_tags () =
+  (* IAS with no remote taggers and a hot M line is cheap and succeeds. *)
+  let m = machine () in
+  let a = Machine.alloc m ~words:8 in
+  let _ = Machine.write m ~core:0 a 1 in
+  let _ = Machine.add_tag m ~core:0 a ~words:1 in
+  let ok, _ = Machine.ias m ~core:0 a 2 in
+  check_bool "ias ok" true ok;
+  check_int "stored" 2 (Machine.peek m a)
+
+let test_add_tag_read_equals_read_plus_tag () =
+  let m = machine () in
+  let a = Machine.alloc m ~words:8 in
+  Machine.poke m a 7;
+  let v, _ = Machine.add_tag_read m ~core:0 a ~words:1 in
+  check_int "tagged load returns value" 7 v;
+  let _ = Machine.write m ~core:1 a 8 in
+  let ok, _ = Machine.validate m ~core:0 in
+  check_bool "line was really tagged" false ok
+
+let test_lines_of_range_spanning () =
+  let cfg = Config.default () in
+  Alcotest.(check (list int))
+    "straddles two lines" [ 0; 1 ]
+    (Config.lines_of_range cfg 6 4);
+  Alcotest.check_raises "empty range" (Invalid_argument "Config.lines_of_range: empty range")
+    (fun () -> ignore (Config.lines_of_range cfg 6 0))
+
+let test_harness_rejects_oversubscription () =
+  let m = machine ~cores:2 () in
+  Alcotest.check_raises "too many threads"
+    (Invalid_argument "Harness.exec: bad thread count") (fun () ->
+      ignore (Mt_core.Harness.exec m ~threads:3 (fun _ -> ())))
+
+let test_ctx_work_advances_time () =
+  let m = machine () in
+  Mt_core.Harness.exec1 m (fun ctx ->
+      let t0 = Mt_core.Ctx.now ctx in
+      Mt_core.Ctx.work ctx 123;
+      check_int "work advances the clock" (t0 + 123) (Mt_core.Ctx.now ctx))
+
+let prop_prng_int_uniformish =
+  QCheck.Test.make ~name:"prng buckets roughly uniform" ~count:20 QCheck.small_int
+    (fun seed ->
+      let g = Prng.create ~seed in
+      let buckets = Array.make 8 0 in
+      for _ = 1 to 8000 do
+        let i = Prng.int g 8 in
+        buckets.(i) <- buckets.(i) + 1
+      done;
+      Array.for_all (fun c -> c > 700 && c < 1300) buckets)
+
+let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
+
+let () =
+  Alcotest.run "mt_sim"
+    [
+      ( "prng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_prng_deterministic;
+          Alcotest.test_case "split independent" `Quick test_prng_split_independent;
+          Alcotest.test_case "int bounds" `Quick test_prng_int_bounds;
+        ]
+        @ qsuite [ prop_prng_float_range ] );
+      ( "pqueue",
+        [ Alcotest.test_case "order" `Quick test_pqueue_order ]
+        @ qsuite [ prop_pqueue_sorted ] );
+      ( "memory",
+        [
+          Alcotest.test_case "alloc aligned" `Quick test_memory_alloc_aligned;
+          Alcotest.test_case "read write" `Quick test_memory_rw;
+          Alcotest.test_case "bounds" `Quick test_memory_bounds;
+          Alcotest.test_case "growth" `Quick test_memory_growth;
+        ] );
+      ( "cache",
+        [
+          Alcotest.test_case "insert/find" `Quick test_cache_insert_find;
+          Alcotest.test_case "lru eviction" `Quick test_cache_lru_eviction;
+          Alcotest.test_case "set isolation" `Quick test_cache_set_isolation;
+          Alcotest.test_case "population" `Quick test_cache_population;
+        ] );
+      ( "directory",
+        [
+          Alcotest.test_case "basics" `Quick test_directory_basics;
+          Alcotest.test_case "exclusive" `Quick test_directory_excl;
+        ] );
+      ( "memtag_unit",
+        [
+          Alcotest.test_case "validate ok" `Quick test_tags_validate_ok;
+          Alcotest.test_case "conflict fails" `Quick test_tags_conflict_fails;
+          Alcotest.test_case "capacity spurious" `Quick test_tags_capacity_is_spurious;
+          Alcotest.test_case "conflict supersedes" `Quick
+            test_tags_conflict_supersedes_capacity;
+          Alcotest.test_case "remove clears" `Quick test_tags_remove_clears_eviction;
+          Alcotest.test_case "overflow latches" `Quick test_tags_overflow_latches;
+          Alcotest.test_case "untagged ignored" `Quick
+            test_tags_untagged_eviction_ignored;
+        ] );
+      ( "runtime",
+        [
+          Alcotest.test_case "interleaving" `Quick test_runtime_interleaving;
+          Alcotest.test_case "tie break" `Quick test_runtime_tie_break_by_tid;
+          Alcotest.test_case "final now" `Quick test_runtime_now_final;
+          Alcotest.test_case "exceptions" `Quick test_runtime_exception_propagates;
+        ] );
+      ( "machine",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_machine_read_write_roundtrip;
+          Alcotest.test_case "cold/hot latency" `Quick test_machine_cold_then_hot_latency;
+          Alcotest.test_case "read sharing" `Quick test_machine_read_sharing;
+          Alcotest.test_case "dirty transfer" `Quick test_machine_dirty_transfer;
+          Alcotest.test_case "upgrade from shared" `Quick test_machine_upgrade_from_shared;
+          Alcotest.test_case "cas semantics" `Quick test_machine_cas_semantics;
+          Alcotest.test_case "faa" `Quick test_machine_faa;
+        ] );
+      ( "machine-tags",
+        [
+          Alcotest.test_case "tag/validate conflict" `Quick
+            test_machine_tag_validate_conflict;
+          Alcotest.test_case "read keeps tags" `Quick
+            test_machine_tag_read_does_not_invalidate;
+          Alcotest.test_case "own write keeps tag" `Quick test_machine_own_write_keeps_tag;
+          Alcotest.test_case "vas fail fast" `Quick test_machine_vas_fail_fast_no_traffic;
+          Alcotest.test_case "vas success" `Quick test_machine_vas_success_updates;
+          Alcotest.test_case "vas kills remote tags" `Quick
+            test_machine_vas_invalidates_remote_tags;
+          Alcotest.test_case "ias invalidates all tagged" `Quick
+            test_machine_ias_invalidates_all_tagged;
+          Alcotest.test_case "vas spares unrelated" `Quick
+            test_machine_vas_does_not_invalidate_unrelated;
+          Alcotest.test_case "tag overflow" `Quick test_machine_tag_overflow;
+          Alcotest.test_case "capacity spurious" `Quick
+            test_machine_capacity_eviction_spurious;
+          Alcotest.test_case "L2 inclusion" `Quick
+            test_machine_l2_inclusion_back_invalidates;
+          Alcotest.test_case "remove then conflict" `Quick
+            test_machine_remove_tag_then_conflict_ok;
+        ]
+        @ qsuite [ prop_machine_matches_shadow; prop_machine_coherence_invariant ] );
+      ( "model-edges",
+        [
+          Alcotest.test_case "store buffer cap" `Quick test_store_buffer_cap;
+          Alcotest.test_case "inval scales with sharers" `Quick
+            test_inval_latency_scales_with_sharers;
+          Alcotest.test_case "downgrade vs write" `Quick
+            test_downgrade_keeps_tag_but_write_kills_it;
+          Alcotest.test_case "ias self tags" `Quick test_ias_self_only_tags;
+          Alcotest.test_case "tagged load" `Quick test_add_tag_read_equals_read_plus_tag;
+          Alcotest.test_case "line ranges" `Quick test_lines_of_range_spanning;
+        ]
+        @ qsuite [ prop_prng_int_uniformish ] );
+      ( "harness",
+        [
+          Alcotest.test_case "no lost updates" `Quick test_harness_threads_interleave;
+          Alcotest.test_case "duration" `Quick test_harness_duration_positive;
+          Alcotest.test_case "determinism" `Quick test_harness_determinism;
+          Alcotest.test_case "oversubscription" `Quick test_harness_rejects_oversubscription;
+          Alcotest.test_case "work advances time" `Quick test_ctx_work_advances_time;
+          Alcotest.test_case "mode line" `Quick test_mode_line;
+          Alcotest.test_case "mode flip aborts" `Quick test_mode_flip_invalidates_taggers;
+        ] );
+    ]

@@ -1,0 +1,174 @@
+(* Tests for the STAMP vacation port over both STMs: setup shape,
+   transactional map semantics, and conservation invariants under
+   concurrency (inventory vs. outstanding customer reservations). *)
+
+open Mt_sim
+open Mt_core
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let machine ?(cores = 8) () = Machine.create (Config.default ~num_cores:cores ())
+
+(* ------------------------------------------------------------------ *)
+(* Transactional map. *)
+
+module Map_n = Mt_stamp.Tx_map.Make (Mt_stm.Norec)
+
+let test_map_sequential_oracle () =
+  let m = machine () in
+  Harness.exec1 m (fun ctx ->
+      let stm = Mt_stm.Norec.create ctx in
+      let map = Map_n.create ctx in
+      let module O = Stdlib.Map.Make (Int) in
+      let oracle = ref O.empty in
+      let g = Prng.create ~seed:77 in
+      for _ = 1 to 1500 do
+        let k = Prng.int g 100 in
+        match Prng.int g 4 with
+        | 0 ->
+            let expected = not (O.mem k !oracle) in
+            let got =
+              Mt_stm.Norec.atomically ctx stm (fun tx -> Map_n.insert tx map k (k * 7))
+            in
+            check_bool "insert" expected got;
+            if got then oracle := O.add k (k * 7) !oracle
+        | 1 ->
+            let got = Mt_stm.Norec.atomically ctx stm (fun tx -> Map_n.remove tx map k) in
+            check_bool "remove" (O.mem k !oracle) (got <> None);
+            oracle := O.remove k !oracle
+        | 2 ->
+            let got = Mt_stm.Norec.atomically ctx stm (fun tx -> Map_n.find tx map k) in
+            check_bool "find" (O.find_opt k !oracle = got) true
+        | _ ->
+            let got =
+              Mt_stm.Norec.atomically ctx stm (fun tx -> Map_n.update tx map k 1)
+            in
+            check_bool "update" (O.mem k !oracle) got;
+            if got then oracle := O.add k 1 !oracle
+      done;
+      let final = Map_n.to_alist_unsafe (Ctx.machine ctx) map in
+      check_bool "final alist" true (final = O.bindings !oracle))
+
+let test_map_fold_sorted () =
+  let m = machine () in
+  Harness.exec1 m (fun ctx ->
+      let stm = Mt_stm.Norec.create ctx in
+      let map = Map_n.create ctx in
+      Mt_stm.Norec.atomically ctx stm (fun tx ->
+          List.iter
+            (fun k -> ignore (Map_n.insert tx map k (10 * k)))
+            [ 5; 2; 8; 1; 9; 3 ]);
+      let keys =
+        Mt_stm.Norec.atomically ctx stm (fun tx ->
+            Map_n.fold tx map ~init:[] ~f:(fun acc k _ -> k :: acc))
+      in
+      Alcotest.(check (list int)) "ascending fold" [ 1; 2; 3; 5; 8; 9 ] (List.rev keys))
+
+let test_map_concurrent_disjoint () =
+  let threads = 4 in
+  let m = machine ~cores:threads () in
+  let stm, map =
+    Harness.exec1 m (fun ctx -> (Mt_stm.Norec.create ctx, Map_n.create ctx))
+  in
+  let (_ : int) =
+    Harness.exec m ~seed:4 ~threads (fun ctx ->
+        let id = Ctx.core ctx in
+        for i = 0 to 24 do
+          Mt_stm.Norec.atomically ctx stm (fun tx ->
+              ignore (Map_n.insert tx map ((100 * id) + i) id))
+        done)
+  in
+  check_int "all inserted" (threads * 25)
+    (List.length (Map_n.to_alist_unsafe m map))
+
+(* ------------------------------------------------------------------ *)
+(* Vacation. *)
+
+module Battery (S : Mt_stm.Stm_intf.S) = struct
+  module V = Mt_stamp.Vacation.Make (S)
+
+  let params = { V.relations = 64; queries = 3; query_pct = 90; user_pct = 80 }
+
+  let test_setup_shape () =
+    let m = machine () in
+    Harness.exec1 m (fun ctx ->
+        let stm = S.create ctx in
+        let mgr = V.setup ctx stm params in
+        let free, used = V.inventory_unsafe (Ctx.machine ctx) mgr in
+        check_int "nothing reserved initially" 0 used;
+        check_bool "stock exists" true (free > 0);
+        check_bool "tables consistent" true
+          (V.tables_consistent_unsafe (Ctx.machine ctx) mgr);
+        check_int "no reservations" 0
+          (V.customer_reservations_unsafe (Ctx.machine ctx) mgr))
+
+  let test_conservation ~threads ~ops () =
+    let m = machine ~cores:threads () in
+    let stm, mgr =
+      Harness.exec1 m (fun ctx ->
+          let stm = S.create ctx in
+          (stm, V.setup ctx stm params))
+    in
+    let (_ : int) =
+      Harness.exec m ~seed:21 ~threads (fun ctx ->
+          for _ = 1 to ops do
+            V.client_op ctx stm mgr params
+          done)
+    in
+    check_bool "tables consistent" true (V.tables_consistent_unsafe m mgr);
+    let _, used = V.inventory_unsafe m mgr in
+    check_int "used units = outstanding reservations" used
+      (V.customer_reservations_unsafe m mgr);
+    check_bool "work happened" true (S.commits stm > threads * ops)
+
+  let test_sequential () = test_conservation ~threads:1 ~ops:120 ()
+  let test_concurrent () = test_conservation ~threads:6 ~ops:60 ()
+
+  let cases name =
+    [
+      Alcotest.test_case (name ^ " setup") `Quick test_setup_shape;
+      Alcotest.test_case (name ^ " sequential conservation") `Quick test_sequential;
+      Alcotest.test_case (name ^ " concurrent conservation") `Quick test_concurrent;
+    ]
+end
+
+module Vac_norec = Battery (Mt_stm.Norec)
+module Vac_tagged = Battery (Mt_stm.Norec_tagged)
+
+(* A second parameter profile: admin-heavy (u=30), wider queries — drives
+   the update_tables/delete_customer paths much harder. *)
+let test_admin_heavy_profile () =
+  let module V = Mt_stamp.Vacation.Make (Mt_stm.Norec_tagged) in
+  let params = { V.relations = 96; queries = 6; query_pct = 100; user_pct = 30 } in
+  let threads = 4 in
+  let m = machine ~cores:threads () in
+  let stm, mgr =
+    Harness.exec1 m (fun ctx ->
+        let stm = Mt_stm.Norec_tagged.create ctx in
+        (stm, V.setup ctx stm params))
+  in
+  let (_ : int) =
+    Harness.exec m ~seed:41 ~threads (fun ctx ->
+        for _ = 1 to 50 do
+          V.client_op ctx stm mgr params
+        done)
+  in
+  check_bool "tables consistent" true (V.tables_consistent_unsafe m mgr);
+  let _, used = V.inventory_unsafe m mgr in
+  check_int "books balance" used (V.customer_reservations_unsafe m mgr)
+
+let () =
+  Alcotest.run "mt_stamp"
+    [
+      ( "tx_map",
+        [
+          Alcotest.test_case "sequential oracle" `Quick test_map_sequential_oracle;
+          Alcotest.test_case "fold sorted" `Quick test_map_fold_sorted;
+          Alcotest.test_case "concurrent disjoint" `Quick test_map_concurrent_disjoint;
+        ] );
+      ("vacation-norec", Vac_norec.cases "norec");
+      ( "vacation-tagged",
+        Vac_tagged.cases "tagged"
+        @ [ Alcotest.test_case "admin-heavy profile" `Quick test_admin_heavy_profile ] );
+    ]
