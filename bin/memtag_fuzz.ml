@@ -1,0 +1,131 @@
+(* Schedule-exploration fuzzer: sweep seeds x thread counts x structures,
+   linearizability-checking every recorded history. Reports the first
+   failing seed with its minimized (per-key) history window, replays it to
+   prove determinism, and exits nonzero on violation. *)
+
+open Cmdliner
+
+module Abtree_params = struct
+  let a = 2
+  let b = 4
+end
+
+module Abtree_hoh = Mt_abtree.Abtree_hoh.Make (Abtree_params)
+module Abtree_llx = Mt_abtree.Abtree_llx.Make (Abtree_params)
+
+let impls : (string * (module Mt_list.Set_intf.SET)) list =
+  [
+    ("harris_list", (module Mt_list.Harris_list));
+    ("vas_list", (module Mt_list.Vas_list));
+    ("hoh_list", (module Mt_list.Hoh_list));
+    ("elided_list", (module Mt_list.Elided_list));
+    ("abtree_hoh", (module Abtree_hoh));
+    ("abtree_llx", (module Abtree_llx));
+    ("buggy_list", (module Mt_check.Buggy_list));
+  ]
+
+let resolve name =
+  match List.assoc_opt name impls with
+  | Some m -> m
+  | None ->
+      Printf.eprintf "unknown structure %S (known: %s)\n" name
+        (String.concat ", " (List.map fst impls));
+      exit 2
+
+let report_failure name threads (o : Mt_check.Explore.outcome) params =
+  let violation =
+    match o.verdict with Error v -> v | Ok () -> assert false
+  in
+  Format.printf "@.FAIL %s threads=%d seed=%d (%d events)@." name threads
+    o.seed
+    (Array.length o.history);
+  Format.printf "%a@." Mt_check.Linearize.pp_violation violation;
+  (* Determinism check: replaying the seed must reproduce the history
+     byte for byte. *)
+  let replay = Mt_check.Explore.run (resolve name) ~params ~seed:o.seed in
+  let identical =
+    Mt_check.History.to_string replay.history
+    = Mt_check.History.to_string o.history
+  in
+  Format.printf "replay of seed %d byte-identical: %b@." o.seed identical;
+  if not identical then
+    Format.printf "WARNING: determinism broken — fix the scheduler first@."
+
+let run structures all seeds threads_list ops range prefill max_delay verbose =
+  let chosen =
+    if all then List.filter (fun (n, _) -> n <> "buggy_list") impls
+    else List.map (fun n -> (n, resolve n)) structures
+  in
+  let failed = ref false in
+  List.iter
+    (fun (name, m) ->
+      List.iter
+        (fun threads ->
+          let params =
+            {
+              Mt_check.Explore.threads;
+              ops;
+              range;
+              prefill;
+              max_delay;
+            }
+          in
+          let clean, failure = Mt_check.Explore.sweep m ~params ~seeds in
+          (match failure with
+          | None ->
+              Format.printf
+                "OK   %-12s threads=%d seeds=%d ops=%dx%d range=%d: 0 violations@."
+                name threads seeds threads ops range
+          | Some o ->
+              failed := true;
+              report_failure name threads o params);
+          if verbose && failure = None then
+            Format.printf "     (last clean seed %d)@." (clean - 1))
+        threads_list)
+    chosen;
+  if !failed then exit 1
+
+let () =
+  let structure =
+    Arg.(
+      value
+      & opt_all string [ "vas_list" ]
+      & info [ "s"; "structure" ]
+          ~doc:
+            "Structure to fuzz (harris_list|vas_list|hoh_list|elided_list|abtree_hoh|abtree_llx|buggy_list); repeatable.")
+  in
+  let all =
+    Arg.(value & flag & info [ "a"; "all" ] ~doc:"Fuzz every (correct) structure.")
+  in
+  let seeds =
+    Arg.(value & opt int 50 & info [ "seeds" ] ~doc:"Number of schedule seeds to explore.")
+  in
+  let threads =
+    Arg.(value & opt_all int [ 4 ] & info [ "t"; "threads" ] ~doc:"Thread count; repeatable.")
+  in
+  let ops =
+    Arg.(value & opt int 50 & info [ "ops" ] ~doc:"Operations per thread.")
+  in
+  let range =
+    Arg.(value & opt int 12 & info [ "r"; "range" ] ~doc:"Key range (keys drawn from [0, range)).")
+  in
+  let prefill =
+    Arg.(value & opt int 4 & info [ "prefill" ] ~doc:"Random inserts before the measured run.")
+  in
+  let max_delay =
+    Arg.(
+      value & opt int 64
+      & info [ "max-delay" ]
+          ~doc:"Scheduler yield-injection bound in cycles (0 disables).")
+  in
+  let verbose = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Chatty output.") in
+  let cmd =
+    Cmd.v
+      (Cmd.info "memtag_fuzz"
+         ~doc:
+           "Explore many deterministic schedules of a concurrent-set workload and linearizability-check each recorded history")
+      Term.(
+        const run $ structure $ all $ seeds $ threads $ ops $ range $ prefill
+        $ max_delay $ verbose)
+  in
+  exit (Cmd.eval cmd)

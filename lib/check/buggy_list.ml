@@ -1,0 +1,49 @@
+open Mt_core
+module Node = Mt_list.Node
+
+type t = { head : Ctx.addr }
+
+let name = "buggy-list"
+
+let create ctx =
+  let tail = Node.alloc ctx ~key:max_int ~next:Mt_sim.Memory.null ~marked:false in
+  let head = Node.alloc ctx ~key:min_int ~next:tail ~marked:false in
+  { head }
+
+(* Unvalidated traversal; never observes marks because nothing sets them. *)
+let locate ctx t k =
+  let rec advance pred curr =
+    let ck = Node.key ctx curr in
+    if ck >= k then (pred, curr, ck)
+    else advance curr (Node.ptr_of (Node.next_packed ctx curr))
+  in
+  let first = Node.ptr_of (Node.next_packed ctx t.head) in
+  advance t.head first
+
+(* The bug: between [locate] and the plain write the fiber stalls on memory
+   latency, so a concurrent update to the same neighbourhood is silently
+   overwritten — no tag, no validation, no atomic swing. *)
+let insert ctx t k =
+  let pred, _curr, ck = locate ctx t k in
+  if ck = k then false
+  else begin
+    let curr = Node.ptr_of (Node.next_packed ctx pred) in
+    let node = Node.alloc ctx ~key:k ~next:curr ~marked:false in
+    Ctx.write ctx (pred + Node.next_off) (Node.pack node ~marked:false);
+    true
+  end
+
+let delete ctx t k =
+  let pred, curr, ck = locate ctx t k in
+  if ck <> k then false
+  else begin
+    let succ = Node.ptr_of (Node.next_packed ctx curr) in
+    Ctx.write ctx (pred + Node.next_off) (Node.pack succ ~marked:false);
+    true
+  end
+
+let contains ctx t k =
+  let _, _, ck = locate ctx t k in
+  ck = k
+
+let to_list_unsafe machine t = Node.to_list_unsafe machine t.head

@@ -1,0 +1,12 @@
+(** A deliberately broken sorted linked list: the VAS list with its
+    synchronization stripped (no tagging, no marking, no VAS — updates are
+    plain writes after an unvalidated traversal). Sequentially correct,
+    but concurrent updates race classically: two inserts after the same
+    predecessor lose one, a delete overlapping an insert unlinks it, etc.
+
+    Kept for ever as the fuzzer's canary: the schedule explorer plus the
+    linearizability checker must catch it within a small seed budget
+    (asserted in [test/test_check.ml]); if it ever stops being caught, the
+    checker — not the list — has regressed. *)
+
+include Mt_list.Set_intf.SET

@@ -1,0 +1,66 @@
+open Mt_sim
+open Mt_core
+
+type params = {
+  threads : int;
+  ops : int;
+  range : int;
+  prefill : int;
+  max_delay : int;
+}
+
+let default_params = { threads = 4; ops = 50; range = 12; prefill = 4; max_delay = 64 }
+
+type outcome = {
+  seed : int;
+  history : History.event array;
+  init : int list;
+  final : int list;
+  duration : int;
+  verdict : (unit, Linearize.violation) result;
+}
+
+let run (module S : Mt_list.Set_intf.SET) ~params ~seed =
+  let p = params in
+  let m = Machine.create (Config.default ~num_cores:p.threads ()) in
+  let s = Harness.exec1 m (fun ctx -> S.create ctx) in
+  if p.prefill > 0 then
+    Harness.exec1 m (fun ctx ->
+        let g = Prng.create ~seed:(seed lxor 0x9E11F1) in
+        for _ = 1 to p.prefill do
+          ignore (S.insert ctx s (Prng.int g p.range))
+        done);
+  let init = S.to_list_unsafe m s in
+  let h = History.create () in
+  let policy = Runtime.random_policy ~max_delay:p.max_delay ~seed () in
+  let duration =
+    Harness.exec m ~seed ~policy ~threads:p.threads (fun ctx ->
+        let g = Ctx.prng ctx in
+        for _ = 1 to p.ops do
+          let k = Prng.int g p.range in
+          ignore
+            (match Prng.int g 4 with
+            | 0 | 1 ->
+                History.record h ctx (History.Insert k) (fun () ->
+                    S.insert ctx s k)
+            | 2 ->
+                History.record h ctx (History.Delete k) (fun () ->
+                    S.delete ctx s k)
+            | _ ->
+                History.record h ctx (History.Contains k) (fun () ->
+                    S.contains ctx s k))
+        done)
+  in
+  let final = S.to_list_unsafe m s in
+  let history = History.events h in
+  let verdict = Linearize.check_set ~init ~final history in
+  { seed; history; init; final; duration; verdict }
+
+let sweep (module S : Mt_list.Set_intf.SET) ~params ~seeds =
+  let rec go seed =
+    if seed >= seeds then (seeds, None)
+    else
+      let o = run (module S) ~params ~seed in
+      match o.verdict with Ok () -> go (seed + 1) | Error _ -> (seed, Some o)
+  in
+  go 0

@@ -1,0 +1,44 @@
+(** Schedule exploration: run one set workload under many distinct,
+    individually reproducible interleavings and linearizability-check each
+    recorded history.
+
+    One {!run} = one seed: a fresh machine, a fresh
+    {!Mt_sim.Runtime.random_policy} built from the seed (yield injection +
+    priority perturbation), thread PRNGs derived from the same seed, and a
+    full history check against the sequential set oracle — including the
+    structure's actual final contents. Everything is a pure function of
+    the parameters, so a failing seed replays to a byte-identical
+    history. *)
+
+type params = {
+  threads : int;
+  ops : int;  (** operations per thread *)
+  range : int;  (** keys drawn uniformly from [0, range) *)
+  prefill : int;  (** random inserts performed sequentially before the run *)
+  max_delay : int;  (** scheduler yield-injection bound, in cycles *)
+}
+
+val default_params : params
+
+type outcome = {
+  seed : int;
+  history : History.event array;
+  init : int list;  (** contents after prefill, before the measured run *)
+  final : int list;  (** contents after the run, read off quiescent memory *)
+  duration : int;  (** simulated cycles *)
+  verdict : (unit, Linearize.violation) result;
+}
+
+(** [run (module S) ~params ~seed] — execute the workload under the
+    seed's schedule and check the history. *)
+val run :
+  (module Mt_list.Set_intf.SET) -> params:params -> seed:int -> outcome
+
+(** [sweep (module S) ~params ~seeds] — run seeds [0..seeds-1], stopping
+    at the first violation. Returns the number of clean runs and the
+    failing outcome, if any. *)
+val sweep :
+  (module Mt_list.Set_intf.SET) ->
+  params:params ->
+  seeds:int ->
+  int * outcome option

@@ -1,0 +1,174 @@
+type ('state, 'op) model = { apply : 'state -> 'op -> bool * 'state }
+type 'op entry = { op : 'op; result : bool; t_inv : int; t_res : int }
+
+let sort_entries entries =
+  let sorted = Array.copy entries in
+  Array.sort (fun a b -> compare (a.t_inv, a.t_res) (b.t_inv, b.t_res)) sorted;
+  sorted
+
+(* Split a t_inv-sorted history at quiescent points: a boundary before
+   entry [i] is sound iff every earlier response is strictly before
+   entry [i]'s invocation, which forces all earlier ops first in any
+   linearization. Returns non-empty contiguous slices. *)
+let split_quiescent sorted =
+  let n = Array.length sorted in
+  if n = 0 then []
+  else begin
+    let segments = ref [] in
+    let start = ref 0 in
+    let max_res = ref sorted.(0).t_res in
+    for i = 1 to n - 1 do
+      if !max_res < sorted.(i).t_inv then begin
+        segments := Array.sub sorted !start (i - !start) :: !segments;
+        start := i
+      end;
+      if sorted.(i).t_res > !max_res then max_res := sorted.(i).t_res
+    done;
+    segments := Array.sub sorted !start (n - !start) :: !segments;
+    List.rev !segments
+  end
+
+let bit_get bytes i = Char.code (Bytes.get bytes (i / 8)) land (1 lsl (i mod 8)) <> 0
+
+let bit_set bytes i v =
+  let c = Char.code (Bytes.get bytes (i / 8)) in
+  let mask = 1 lsl (i mod 8) in
+  Bytes.set bytes (i / 8) (Char.chr (if v then c lor mask else c land lnot mask))
+
+(* Memoized Wing–Gong exploration of one segment: all final states
+   reachable by a legal linearization. [seg] is sorted by t_inv. *)
+let segment_final_states model ~init seg =
+  let n = Array.length seg in
+  let finals = ref [] in
+  let add_final s = if not (List.mem s !finals) then finals := s :: !finals in
+  let taken = Bytes.make ((n + 7) / 8) '\000' in
+  let visited = Hashtbl.create 64 in
+  let rec go k state =
+    if k = n then add_final state
+    else begin
+      let memo_key = (Bytes.to_string taken, state) in
+      if not (Hashtbl.mem visited memo_key) then begin
+        Hashtbl.add visited memo_key ();
+        let min_res = ref max_int in
+        for i = 0 to n - 1 do
+          if (not (bit_get taken i)) && seg.(i).t_res < !min_res then
+            min_res := seg.(i).t_res
+        done;
+        (* Candidates to linearize next: remaining ops invoked no later
+           than every remaining response. Sorted order lets us stop at the
+           first op invoked strictly after [min_res]. *)
+        let i = ref 0 in
+        let scanning = ref true in
+        while !scanning && !i < n do
+          let e = seg.(!i) in
+          if e.t_inv > !min_res then scanning := false
+          else begin
+            if not (bit_get taken !i) then begin
+              let r, state' = model.apply state e.op in
+              if r = e.result then begin
+                bit_set taken !i true;
+                go (k + 1) state';
+                bit_set taken !i false
+              end
+            end;
+            incr i
+          end
+        done
+      end
+    end
+  in
+  go 0 init;
+  !finals
+
+let dedup states = List.sort_uniq compare states
+
+let check model ~init entries =
+  let segments = split_quiescent (sort_entries entries) in
+  let rec loop states = function
+    | [] -> Ok states
+    | seg :: rest -> (
+        let states' =
+          dedup
+            (List.concat_map
+               (fun s -> segment_final_states model ~init:s seg)
+               states)
+        in
+        match states' with [] -> Error seg | _ -> loop states' rest)
+  in
+  loop [ init ] segments
+
+let final_states model ~init entries =
+  match check model ~init entries with Ok states -> states | Error _ -> []
+
+(* ------------------------------------------------------------------ *)
+(* Set histories: per-key decomposition against a one-bit oracle. *)
+
+type violation = { key : int; window : History.event list; reason : string }
+
+let pp_violation ppf v =
+  Format.fprintf ppf "@[<v 2>key %d: %s@,%a@]" v.key v.reason
+    (Format.pp_print_list History.pp_event)
+    v.window
+
+(* The per-key oracle: ops are indices into the key's event array so a
+   failing segment maps straight back to its events. *)
+let event_model (evs : History.event array) : (bool, int) model =
+  {
+    apply =
+      (fun present i ->
+        match evs.(i).History.op with
+        | History.Insert _ -> (not present, true)
+        | History.Delete _ -> (present, false)
+        | History.Contains _ -> (present, present));
+  }
+
+let check_set ?(init = []) ?final (events : History.event array) =
+  let by_key : (int, History.event list) Hashtbl.t = Hashtbl.create 64 in
+  Array.iter
+    (fun (e : History.event) ->
+      let k = History.key_of e.History.op in
+      Hashtbl.replace by_key k
+        (e :: (Option.value ~default:[] (Hashtbl.find_opt by_key k))))
+    events;
+  let keys =
+    dedup
+      (Hashtbl.fold (fun k _ acc -> k :: acc) by_key []
+      @ init
+      @ Option.value ~default:[] final)
+  in
+  let check_key k =
+    let evs =
+      Array.of_list (List.rev (Option.value ~default:[] (Hashtbl.find_opt by_key k)))
+    in
+    let entries =
+      Array.mapi
+        (fun i (e : History.event) ->
+          { op = i; result = e.History.result; t_inv = e.History.t_inv; t_res = e.History.t_res })
+        evs
+    in
+    let init_present = List.mem k init in
+    match check (event_model evs) ~init:init_present entries with
+    | Error seg ->
+        Error
+          {
+            key = k;
+            window = List.map (fun en -> evs.(en.op)) (Array.to_list seg);
+            reason = "no valid linearization for this window";
+          }
+    | Ok states -> (
+        match final with
+        | Some f when not (List.mem (List.mem k f) states) ->
+            Error
+              {
+                key = k;
+                window = Array.to_list evs;
+                reason =
+                  Printf.sprintf
+                    "final membership %b unreachable by any linearization"
+                    (List.mem k f);
+              }
+        | _ -> Ok ())
+  in
+  List.fold_left
+    (fun acc k -> match acc with Error _ -> acc | Ok () -> check_key k)
+    (Ok ()) keys

@@ -1,0 +1,72 @@
+(** Wing–Gong linearizability checking of recorded histories.
+
+    The core ({!final_states}, {!check}) is a generic Wing–Gong search: it
+    tries to order a history of completed operations (each with a
+    real-time invocation/response interval) into a legal sequential
+    execution of a deterministic oracle, backtracking over every operation
+    that may legally be linearized next (one whose invocation is not
+    strictly after any remaining operation's response). Two prunings keep
+    it fast on the mostly-sequential histories the simulator produces:
+
+    - {e quiescent splitting} — wherever some instant strictly separates
+      all earlier responses from all later invocations, real time forces
+      every earlier operation before every later one, so the history is
+      checked segment by segment, threading the set of reachable oracle
+      states across the split;
+    - {e memoization} — within a segment, search states are keyed by
+      (set of linearized ops, oracle state) and visited once.
+
+    {!check_set} is the driver for set histories: since a set of integer
+    keys is an independent boolean object per key (linearizability is
+    compositional), the history is decomposed per key and each sub-history
+    is checked against a one-bit oracle, optionally also requiring the
+    observed final contents to be reachable. *)
+
+(** A sequential oracle: [apply state op] returns the operation's expected
+    boolean result in [state] and the successor state. States must support
+    structural equality/hashing (they are memo keys). *)
+type ('state, 'op) model = { apply : 'state -> 'op -> bool * 'state }
+
+(** One completed operation: what was called, what it returned, and its
+    real-time interval in simulated cycles. Operations with
+    [t_res a < t_inv b] are ordered; equal timestamps count as
+    concurrent. *)
+type 'op entry = { op : 'op; result : bool; t_inv : int; t_res : int }
+
+(** [final_states model ~init entries] — all oracle states reachable by a
+    legal linearization of [entries] from [init]; [[]] iff none exists.
+    [entries] need not be sorted. *)
+val final_states :
+  ('s, 'op) model -> init:'s -> 'op entry array -> 's list
+
+(** [check model ~init entries] — [Ok states] (the reachable final
+    states) if linearizable, [Error segment] otherwise, where [segment] is
+    the smallest real-time window of the history that admits no valid
+    linearization. *)
+val check :
+  ('s, 'op) model ->
+  init:'s ->
+  'op entry array ->
+  ('s list, 'op entry array) result
+
+(** A failed set-history check: the key whose sub-history is wrong, the
+    minimized window of events demonstrating it, and why. *)
+type violation = {
+  key : int;
+  window : History.event list;
+  reason : string;
+}
+
+val pp_violation : Format.formatter -> violation -> unit
+
+(** [check_set ?init ?final events] checks a recorded set history for
+    linearizability against a sequential set-of-ints oracle starting from
+    contents [init] (default empty). When [final] (the structure's actual
+    contents after the run, read off quiescent memory) is given, each
+    key's observed final membership must also be reachable — catching
+    corruptions that leave a plausible history but wrong memory. *)
+val check_set :
+  ?init:int list ->
+  ?final:int list ->
+  History.event array ->
+  (unit, violation) result

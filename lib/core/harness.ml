@@ -1,6 +1,6 @@
 open Mt_sim
 
-let exec machine ?(seed = 0x5EED) ~threads f =
+let exec machine ?(seed = 0x5EED) ?(policy = Runtime.default_policy) ~threads f =
   if threads <= 0 || threads > Machine.num_cores machine then
     invalid_arg "Harness.exec: bad thread count";
   let master = Prng.create ~seed in
@@ -9,7 +9,7 @@ let exec machine ?(seed = 0x5EED) ~threads f =
     let prng = Prng.split master in
     Runtime.spawn rt (fun () -> f (Ctx.make machine ~core ~prng))
   done;
-  Runtime.run rt;
+  Runtime.run ~policy rt;
   Runtime.now ()
 
 let exec1 machine ?(seed = 0x5EED) f =

@@ -13,12 +13,21 @@
       ...
     ]} *)
 
-(** [exec machine ?seed ~threads f] runs [threads] fibers, fiber [i] pinned
-    to core [i] with its own PRNG stream derived from [seed]. Returns the
-    simulated duration in cycles (the time the last fiber finished).
-    Raises [Invalid_argument] if [threads] exceeds the machine's cores or
-    is not positive. *)
-val exec : Mt_sim.Machine.t -> ?seed:int -> threads:int -> (Ctx.t -> unit) -> int
+(** [exec machine ?seed ?policy ~threads f] runs [threads] fibers, fiber
+    [i] pinned to core [i] with its own PRNG stream derived from [seed].
+    [policy] (default {!Mt_sim.Runtime.default_policy}) selects the
+    scheduling policy; pass a fresh {!Mt_sim.Runtime.random_policy} to
+    explore an alternative, fully reproducible interleaving of the same
+    workload. Returns the simulated duration in cycles (the time the last
+    fiber finished). Raises [Invalid_argument] if [threads] exceeds the
+    machine's cores or is not positive. *)
+val exec :
+  Mt_sim.Machine.t ->
+  ?seed:int ->
+  ?policy:Mt_sim.Runtime.policy ->
+  threads:int ->
+  (Ctx.t -> unit) ->
+  int
 
 (** [exec1 machine f] runs [f] as a single fiber on core 0 and returns its
     result (convenience for setup phases that produce a value). *)

@@ -3,10 +3,40 @@ open Effect.Deep
 
 type _ Effect.t += Stall : int -> unit Effect.t
 
+type policy = {
+  policy_name : string;
+  extra_delay : tid:int -> int;
+  tie_of : tid:int -> int;
+}
+
+let default_policy =
+  {
+    policy_name = "fifo";
+    extra_delay = (fun ~tid:_ -> 0);
+    tie_of = (fun ~tid -> tid);
+  }
+
+(* Seeded schedule perturbation: every stall gets an extra random delay in
+   [0, max_delay], and readiness ties are broken by a random priority
+   instead of the fiber id. Both draws come from one private PRNG stream,
+   consumed in scheduler order — itself deterministic — so a given seed
+   always produces the same interleaving. The tie key keeps the fiber id
+   in its low bits so distinct fibers never compare equal. *)
+let random_policy ?(max_delay = 64) ~seed () =
+  if max_delay < 0 then invalid_arg "Runtime.random_policy: negative max_delay";
+  let g = Prng.create ~seed:(seed lxor 0x5CEDC0DE) in
+  {
+    policy_name = Printf.sprintf "random(seed=%d,max_delay=%d)" seed max_delay;
+    extra_delay = (fun ~tid:_ -> if max_delay = 0 then 0 else Prng.int g (max_delay + 1));
+    tie_of = (fun ~tid -> (Prng.int g 0x4000 lsl 16) lor (tid land 0xFFFF));
+  }
+
+let policy_name p = p.policy_name
+
 type t = {
   mutable bodies : (unit -> unit) list;  (* reversed spawn order *)
   mutable n_fibers : int;
-  ready : (unit -> unit) Pqueue.t;
+  ready : (int * (unit -> unit)) Pqueue.t;  (* (fiber id, resume) *)
 }
 
 (* Scheduler-global state. The runtime is single-threaded and non-reentrant,
@@ -32,7 +62,7 @@ let fiber_id () =
   if !current_fiber < 0 then invalid_arg "Runtime.fiber_id: not inside a fiber";
   !current_fiber
 
-let run t =
+let run ?(policy = default_policy) t =
   if !active then invalid_arg "Runtime.run: a run is already active";
   active := true;
   clock := 0;
@@ -48,16 +78,17 @@ let run t =
             | Stall n ->
                 Some
                   (fun (k : (a, unit) continuation) ->
-                    clocks.(tid) <- clocks.(tid) + n;
-                    Pqueue.add t.ready ~time:clocks.(tid) ~tie:tid (fun () ->
-                        continue k ()))
+                    clocks.(tid) <- clocks.(tid) + n + policy.extra_delay ~tid;
+                    Pqueue.add t.ready ~time:clocks.(tid)
+                      ~tie:(policy.tie_of ~tid)
+                      (tid, fun () -> continue k ()))
             | _ -> None);
       }
   in
   List.iteri
     (fun i body ->
       let tid = t.n_fibers - 1 - i in
-      Pqueue.add t.ready ~time:0 ~tie:tid (start tid body))
+      Pqueue.add t.ready ~time:0 ~tie:(policy.tie_of ~tid) (tid, start tid body))
     t.bodies;
   let finish () =
     active := false;
@@ -65,7 +96,7 @@ let run t =
   in
   (try
      while not (Pqueue.is_empty t.ready) do
-       let time, tid, resume = Pqueue.pop_min t.ready in
+       let time, _tie, (tid, resume) = Pqueue.pop_min t.ready in
        clock := time;
        current_fiber := tid;
        resume ()

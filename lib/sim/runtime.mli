@@ -12,15 +12,39 @@
 
 type t
 
+(** A scheduling policy decides how ready fibers are ordered. The default
+    resumes the fiber with the smallest local clock, ties broken by fiber
+    id — the "hardware-faithful" schedule. Alternative policies perturb
+    that order to explore other coherence interleavings of the same
+    program; every policy is deterministic given its construction
+    parameters, so any schedule can be replayed exactly from its seed. *)
+type policy
+
+(** The historical schedule: no injected delay, ties broken by fiber id. *)
+val default_policy : policy
+
+(** [random_policy ?max_delay ~seed ()] builds a fresh seeded exploration
+    policy: every stall is lengthened by a uniform random delay in
+    [0, max_delay] cycles (modelling preemption/jitter) and readiness ties
+    are broken by random priorities. Two policies built with the same
+    arguments drive byte-identical schedules; a policy value is stateful
+    and must not be reused across runs if replayability matters — build a
+    fresh one per run. *)
+val random_policy : ?max_delay:int -> seed:int -> unit -> policy
+
+(** Human-readable description of a policy (for logs and reports). *)
+val policy_name : policy -> string
+
 val create : unit -> t
 
 (** [spawn t body] registers a fiber. Fibers start at simulated time 0 in
     spawn order. Must be called before {!run}. *)
 val spawn : t -> (unit -> unit) -> unit
 
-(** [run t] executes all fibers to completion. Exceptions escaping a fiber
-    abort the whole run and are re-raised. *)
-val run : t -> unit
+(** [run ?policy t] executes all fibers to completion under [policy]
+    (default {!default_policy}). Exceptions escaping a fiber abort the
+    whole run and are re-raised. *)
+val run : ?policy:policy -> t -> unit
 
 (** [stall n] suspends the calling fiber for [n >= 0] simulated cycles.
     Must be called from within a fiber. *)

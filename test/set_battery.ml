@@ -125,6 +125,33 @@ module Make (S : Mt_list.Set_intf.SET) = struct
     in
     check_bool "bit-identical reruns" true (run () = run ())
 
+  (* qcheck model-based property: arbitrary op sequences over a small key
+     space, every return value and the final contents cross-checked
+     against Set.Make(Int). Complements [sequential_oracle] (one fixed
+     seed) with shrinking counterexamples. *)
+  let qcheck_model =
+    QCheck.Test.make ~count:50 ~name:"qcheck model vs Set.Make(Int)"
+      QCheck.(list (pair (int_bound 2) (int_bound 11)))
+      (fun ops ->
+        let m = machine () in
+        Harness.exec1 m (fun ctx ->
+            let s = S.create ctx in
+            let oracle = ref Oracle.empty in
+            let step (kind, k) =
+              match kind with
+              | 0 ->
+                  let expected = not (Oracle.mem k !oracle) in
+                  oracle := Oracle.add k !oracle;
+                  S.insert ctx s k = expected
+              | 1 ->
+                  let expected = Oracle.mem k !oracle in
+                  oracle := Oracle.remove k !oracle;
+                  S.delete ctx s k = expected
+              | _ -> S.contains ctx s k = Oracle.mem k !oracle
+            in
+            List.for_all step ops
+            && S.to_list_unsafe (Ctx.machine ctx) s = Oracle.elements !oracle))
+
   let cases =
     [
       Alcotest.test_case "empty" `Quick test_empty;
@@ -134,5 +161,6 @@ module Make (S : Mt_list.Set_intf.SET) = struct
       Alcotest.test_case "concurrent 4x16" `Quick test_concurrent_small;
       Alcotest.test_case "concurrent 8x128" `Slow test_concurrent_large;
       Alcotest.test_case "determinism" `Quick test_determinism;
+      QCheck_alcotest.to_alcotest qcheck_model;
     ]
 end

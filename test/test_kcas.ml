@@ -193,6 +193,48 @@ let test_get_helps () =
   in
   check_int "reads monotonic" 0 !non_monotonic
 
+(* Multi-seed schedule exploration: concurrent 2-word transfers must
+   conserve the total under every explorer interleaving (for both kcas
+   variants), and each seed must replay to the identical final cells. *)
+let multi_seed_transfers kcas () =
+  let threads = 4 and n = 6 in
+  let run seed =
+    let m = machine ~cores:threads () in
+    let base = Harness.exec1 m (fun ctx -> cells ctx n 100) in
+    let policy = Runtime.random_policy ~seed () in
+    let (_ : int) =
+      Harness.exec m ~seed ~policy ~threads (fun ctx ->
+          let g = Ctx.prng ctx in
+          for _ = 1 to 60 do
+            let i = Prng.int g n in
+            let j = Prng.int g n in
+            if i <> j then begin
+              let vi = Kcas.get ctx (base + i) in
+              let vj = Kcas.get ctx (base + j) in
+              if vi > 0 then
+                ignore
+                  (kcas ctx
+                     [
+                       { Kcas.addr = base + i; expected = vi; desired = vi - 1 };
+                       { Kcas.addr = base + j; expected = vj; desired = vj + 1 };
+                     ])
+            end
+          done)
+    in
+    Harness.exec1 m (fun ctx -> List.init n (fun i -> Kcas.get ctx (base + i)))
+  in
+  for seed = 1 to 10 do
+    let final = run seed in
+    check_int
+      (Printf.sprintf "seed %d: sum conserved" seed)
+      (100 * n)
+      (List.fold_left ( + ) 0 final);
+    check_bool
+      (Printf.sprintf "seed %d: replay gives identical final state" seed)
+      true
+      (run seed = final)
+  done
+
 let suite kcas name =
   [
     Alcotest.test_case (name ^ " basic") `Quick (test_basic_success_failure kcas);
@@ -216,5 +258,12 @@ let () =
           Alcotest.test_case "consistency" `Quick test_snapshot_consistency;
           Alcotest.test_case "overflow" `Quick test_snapshot_overflow;
           Alcotest.test_case "reads help" `Quick test_get_helps;
+        ] );
+      ( "explorer",
+        [
+          Alcotest.test_case "plain transfers under 10 seeds" `Quick
+            (multi_seed_transfers Kcas.kcas);
+          Alcotest.test_case "tagged transfers under 10 seeds" `Quick
+            (multi_seed_transfers Kcas.kcas_tagged);
         ] );
     ]

@@ -232,6 +232,78 @@ let test_tagged_reader_sees_writer () =
   check_bool "reader observed the final write eventually" true
     (match !observed with (99, 99) :: _ -> true | _ -> false)
 
+(* Multi-seed schedule exploration: the same workloads must satisfy their
+   oracles under every explorer interleaving, and each seed must replay to
+   the identical final state. *)
+
+let test_tagged_counter_multi_seed () =
+  let threads = 4 and per_thread = 30 in
+  for seed = 1 to 12 do
+    let m = machine ~cores:threads () in
+    let stm, cell =
+      Harness.exec1 m (fun ctx ->
+          let stm = Mt_stm.Norec_tagged.create ctx in
+          (stm, Ctx.alloc ctx ~words:1))
+    in
+    let policy = Runtime.random_policy ~seed () in
+    let (_ : int) =
+      Harness.exec m ~seed ~policy ~threads (fun ctx ->
+          for _ = 1 to per_thread do
+            Mt_stm.Norec_tagged.atomically ctx stm (fun tx ->
+                Mt_stm.Norec_tagged.write tx cell
+                  (Mt_stm.Norec_tagged.read tx cell + 1))
+          done)
+    in
+    check_int
+      (Printf.sprintf "seed %d: every increment committed" seed)
+      (threads * per_thread)
+      (Machine.peek m cell)
+  done
+
+let test_tagged_bank_multi_seed () =
+  let threads = 4 and accounts = 6 in
+  let run seed =
+    let m = machine ~cores:threads () in
+    let stm, base =
+      Harness.exec1 m (fun ctx ->
+          let stm = Mt_stm.Norec_tagged.create ctx in
+          let base = Ctx.alloc ctx ~words:accounts in
+          Mt_stm.Norec_tagged.atomically ctx stm (fun tx ->
+              for i = 0 to accounts - 1 do
+                Mt_stm.Norec_tagged.write tx (base + i) 100
+              done);
+          (stm, base))
+    in
+    let policy = Runtime.random_policy ~seed () in
+    let (_ : int) =
+      Harness.exec m ~seed ~policy ~threads (fun ctx ->
+          let g = Ctx.prng ctx in
+          for _ = 1 to 40 do
+            let src = Prng.int g accounts and dst = Prng.int g accounts in
+            let amount = Prng.int g 20 in
+            Mt_stm.Norec_tagged.atomically ctx stm (fun tx ->
+                let s = Mt_stm.Norec_tagged.read tx (base + src) in
+                let d = Mt_stm.Norec_tagged.read tx (base + dst) in
+                if s >= amount && src <> dst then begin
+                  Mt_stm.Norec_tagged.write tx (base + src) (s - amount);
+                  Mt_stm.Norec_tagged.write tx (base + dst) (d + amount)
+                end)
+          done)
+    in
+    List.init accounts (fun i -> Machine.peek m (base + i))
+  in
+  for seed = 1 to 10 do
+    let balances = run seed in
+    check_int
+      (Printf.sprintf "seed %d: total conserved" seed)
+      (100 * accounts)
+      (List.fold_left ( + ) 0 balances);
+    check_bool
+      (Printf.sprintf "seed %d: replay gives identical final state" seed)
+      true
+      (run seed = balances)
+  done
+
 let () =
   Alcotest.run "mt_stm"
     [
@@ -241,5 +313,12 @@ let () =
         [
           Alcotest.test_case "overflow fallback" `Quick test_tagged_overflow_fallback;
           Alcotest.test_case "parked reader aborts" `Quick test_tagged_reader_sees_writer;
+        ] );
+      ( "explorer",
+        [
+          Alcotest.test_case "counter exact under 12 seeds" `Quick
+            test_tagged_counter_multi_seed;
+          Alcotest.test_case "bank conserved + deterministic under 10 seeds"
+            `Quick test_tagged_bank_multi_seed;
         ] );
     ]
