@@ -103,8 +103,10 @@ let best_gain base_series other_series =
       if b > 0.0 then max acc (r.Driver.throughput /. b) else acc)
     0.0 other_series.points
 
-(* Collected results for the summary block. *)
+(* Collected results for the summary block and the --json export. *)
 let collected : (string * series list) list ref = ref []
+let spurious_rows : (string * Driver.result) list ref = ref []
+let headline_rows : (string * string * float option) list ref = ref []
 
 (* ------------------------------------------------------------------ *)
 (* Figures 2 / 4: lists at 35% insert, 35% delete, 30% contains. *)
@@ -207,6 +209,7 @@ let spurious () =
       if r.validates = 0 then 0.0
       else float_of_int r.validate_failures_spurious /. float_of_int r.validates
     in
+    spurious_rows := !spurious_rows @ [ (name, r) ];
     rows :=
       [
         name;
@@ -354,6 +357,7 @@ let summary () =
         | _ -> None)
   in
   let row name paper measured =
+    headline_rows := !headline_rows @ [ (name, paper, measured) ];
     [ name; paper; (match measured with Some g -> Printf.sprintf "%.2fx" g | None -> "(skipped)") ]
   in
   Report.table ~title:"Peak speedups across the thread sweep"
@@ -367,9 +371,89 @@ let summary () =
     ]
 
 (* ------------------------------------------------------------------ *)
+(* Machine-readable export: everything collected during the run, in a
+   fixed figure order. This is the BENCH_*.json schema — extend, don't
+   reorder or rename. *)
+
+module Json = Mt_obs.Json
+
+let figure_order = [ "fig2"; "fig5"; "fig6"; "fig7"; "fig8" ]
+
+let series_to_json (s : series) =
+  Json.Obj
+    [
+      ("impl", Json.String s.impl);
+      ("points",
+       Json.List
+         (List.map
+            (fun (threads, r) ->
+              Json.Obj
+                [
+                  ("threads", Json.Int threads);
+                  ("result", Driver.result_to_json r);
+                ])
+            s.points));
+    ]
+
+let export_json file =
+  let figures =
+    List.filter_map
+      (fun name ->
+        match List.assoc_opt name !collected with
+        | None -> None
+        | Some series ->
+            Some (name, Json.List (List.map series_to_json series)))
+      figure_order
+  in
+  let spurious =
+    List.map
+      (fun (name, (r : Driver.result)) ->
+        Json.Obj
+          [
+            ("workload", Json.String name);
+            ("validates", Json.Int r.Driver.validates);
+            ("validate_failures", Json.Int r.Driver.validate_failures);
+            ("validate_failures_spurious",
+             Json.Int r.Driver.validate_failures_spurious);
+            ("result", Driver.result_to_json r);
+          ])
+      !spurious_rows
+  in
+  let headline =
+    List.map
+      (fun (name, paper, measured) ->
+        Json.Obj
+          [
+            ("comparison", Json.String name);
+            ("paper_claim", Json.String paper);
+            ("measured_peak_speedup",
+             match measured with Some g -> Json.Float g | None -> Json.Null);
+          ])
+      !headline_rows
+  in
+  let doc =
+    Json.Obj
+      [
+        ("schema_version", Json.Int 1);
+        ("generator", Json.String "memory-tagging-sim bench/main.exe");
+        ("quick", Json.Bool !quick);
+        ("figures", Json.Obj figures);
+        ("spurious", Json.List spurious);
+        ("headline", Json.List headline);
+      ]
+  in
+  Json.to_file file doc;
+  Printf.printf "\nWrote benchmark JSON to %s\n" file
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
+  let rec split_json acc = function
+    | "--json" :: file :: rest -> (Some file, List.rev_append acc rest)
+    | "--json" :: [] -> failwith "bench: --json requires a file argument"
+    | a :: rest -> split_json (a :: acc) rest
+    | [] -> (None, List.rev acc)
+  in
+  let json_file, args = split_json [] args in
   if List.mem "quick" args then quick := true;
   let args = List.filter (fun a -> a <> "quick") args in
   let all = args = [] in
@@ -384,4 +468,5 @@ let () =
   if want "ablation" then ablation ();
   if want "micro" then micro ();
   if want "summary" then summary ();
+  Option.iter export_json json_file;
   Printf.printf "\nTotal bench wall time: %.1f s\n" (Unix.gettimeofday () -. t0)

@@ -1,0 +1,69 @@
+(* Minimal JSON validator for CI: parses each file argument with the
+   strict Mt_obs.Json parser and optionally asserts a few schema
+   invariants.
+
+   Usage:  json_check [--bench|--trace] FILE...
+
+   --bench  additionally requires a top-level object with an integer
+            "schema_version" field.
+   --trace  additionally requires a "traceEvents" array where every
+            element has "ph", "ts" and "pid" fields (the Chrome
+            trace-event contract Perfetto relies on). *)
+
+module Json = Mt_obs.Json
+
+let fail fmt = Printf.ksprintf (fun s -> prerr_endline s; exit 1) fmt
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let check_bench path j =
+  match Json.member "schema_version" j with
+  | Some (Json.Int _) -> ()
+  | _ -> fail "%s: missing integer schema_version" path
+
+let check_trace path j =
+  match Json.member "traceEvents" j with
+  | Some (Json.List evs) ->
+      List.iteri
+        (fun i ev ->
+          List.iter
+            (fun field ->
+              if Json.member field ev = None then
+                fail "%s: traceEvents[%d] lacks %S" path i field)
+            [ "ph"; "pid" ];
+          (* Metadata records ("M") carry no timestamp; everything else
+             must. *)
+          match (Json.member "ph" ev, Json.member "ts" ev) with
+          | Some (Json.String "M"), _ -> ()
+          | _, Some _ -> ()
+          | _, None -> fail "%s: traceEvents[%d] lacks \"ts\"" path i)
+        evs
+  | _ -> fail "%s: missing traceEvents array" path
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let mode, files =
+    match args with
+    | "--bench" :: rest -> (`Bench, rest)
+    | "--trace" :: rest -> (`Trace, rest)
+    | rest -> (`Any, rest)
+  in
+  if files = [] then fail "usage: json_check [--bench|--trace] FILE...";
+  List.iter
+    (fun path ->
+      let j =
+        try Json.of_string (read_file path) with
+        | Json.Parse_error msg -> fail "%s: invalid JSON: %s" path msg
+        | Sys_error e -> fail "%s" e
+      in
+      (match mode with
+      | `Bench -> check_bench path j
+      | `Trace -> check_trace path j
+      | `Any -> ());
+      Printf.printf "%s: OK\n" path)
+    files

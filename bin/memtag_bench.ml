@@ -21,7 +21,12 @@ let impls : (string * (module Mt_list.Set_intf.SET)) list =
     ("abtree-hoh", (module Abtree_hoh));
   ]
 
-let run impl_names threads key_range insert_pct delete_pct measure seed all verbose =
+module Obs = Mt_obs.Obs
+module Trace = Mt_obs.Trace
+module Json = Mt_obs.Json
+
+let run impl_names threads key_range insert_pct delete_pct measure seed all verbose
+    json_file trace_file hot =
   let chosen =
     if all then impls
     else
@@ -38,16 +43,54 @@ let run impl_names threads key_range insert_pct delete_pct measure seed all verb
     Mt_workload.Spec.make ~key_range ~insert_pct ~delete_pct ~threads
       ~measure_cycles:measure ~seed ()
   in
-  List.iter
-    (fun (_, m) ->
-      let r = Mt_workload.Driver.run_set m spec in
-      Format.printf "%a@." Mt_workload.Driver.pp_result r;
-      if verbose then Format.printf "  %a@." Mt_sim.Stats.pp r.Mt_workload.Driver.stats)
-    chosen
+  (* One shared recording sink across the chosen impls: the trace gets one
+     run after another on the same timeline, which is what you want when
+     eyeballing a single data point. Off (Null) unless requested. *)
+  let tracing = trace_file <> None || hot > 0 in
+  let obs =
+    if tracing then Obs.create ~num_cores:threads () else Obs.null
+  in
+  let results =
+    List.map
+      (fun (name, m) ->
+        let r = Mt_workload.Driver.run_set ~obs m spec in
+        Format.printf "%a@." Mt_workload.Driver.pp_result r;
+        if verbose then
+          Format.printf "  %a@." Mt_sim.Stats.pp r.Mt_workload.Driver.stats;
+        (name, r))
+      chosen
+  in
+  Option.iter
+    (fun file ->
+      Trace.write_file obs file;
+      Printf.printf "Wrote event trace (%d events, %d dropped) to %s\n"
+        (List.length (Obs.events obs))
+        (Obs.dropped obs) file)
+    trace_file;
+  if hot > 0 then Format.printf "%a@." (Trace.pp_hot_lines ~top:hot) obs;
+  Option.iter
+    (fun file ->
+      let doc =
+        Json.Obj
+          [
+            ("schema_version", Json.Int 1);
+            ("generator", Json.String "memory-tagging-sim bin/memtag_bench.exe");
+            ("results",
+             Json.List
+               (List.map
+                  (fun (_, r) -> Mt_workload.Driver.result_to_json r)
+                  results));
+          ]
+      in
+      Json.to_file file doc;
+      Printf.printf "Wrote benchmark JSON to %s\n" file)
+    json_file
 
 let () =
   let impl =
-    Arg.(value & opt_all string [ "hoh" ] & info [ "i"; "impl" ] ~doc:"Implementation (harris|vas|hoh); repeatable.")
+    Arg.(value & opt_all string [ "hoh" ]
+         & info [ "i"; "impl" ]
+             ~doc:"Implementation (harris|vas|hoh|abtree-llx|abtree-hoh); repeatable.")
   in
   let all = Arg.(value & flag & info [ "a"; "all" ] ~doc:"Run every implementation.") in
   let threads = Arg.(value & opt int 8 & info [ "t"; "threads" ] ~doc:"Thread count.") in
@@ -59,9 +102,27 @@ let () =
   in
   let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Random seed.") in
   let verbose = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print full counters.") in
+  let json_file =
+    Arg.(value & opt (some string) None
+         & info [ "json" ] ~docv:"FILE"
+             ~doc:"Write the results as machine-readable JSON to $(docv).")
+  in
+  let trace_file =
+    Arg.(value & opt (some string) None
+         & info [ "trace" ] ~docv:"FILE"
+             ~doc:"Record all simulator events and write a Chrome/Perfetto \
+                   trace-event JSON file to $(docv).")
+  in
+  let hot =
+    Arg.(value & opt int 0
+         & info [ "hot" ] ~docv:"N"
+             ~doc:"Record events and print the $(docv) most contended cache \
+                   lines (invalidation/downgrade counts with owning structure).")
+  in
   let cmd =
     Cmd.v
       (Cmd.info "memtag_bench" ~doc:"Run one MemTags set benchmark data point")
-      Term.(const run $ impl $ threads $ range $ ins $ del $ measure $ seed $ all $ verbose)
+      Term.(const run $ impl $ threads $ range $ ins $ del $ measure $ seed $ all
+            $ verbose $ json_file $ trace_file $ hot)
   in
   exit (Cmd.eval cmd)

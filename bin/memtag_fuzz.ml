@@ -32,6 +32,43 @@ let resolve name =
         (String.concat ", " (List.map fst impls));
       exit 2
 
+(* On violation, dump everything a debugging session needs into
+   fuzz-failure-<seed>/: the Perfetto event trace of a traced replay, the
+   full recorded history, and the minimized per-key window the checker
+   rejected. The traced replay doubles as the determinism check — tracing
+   never perturbs the schedule, so its history must match byte for byte. *)
+let dump_failure name threads (o : Mt_check.Explore.outcome) params
+    (violation : Mt_check.Linearize.violation) =
+  let dir = Printf.sprintf "fuzz-failure-%d" o.seed in
+  (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  let write file s =
+    let oc = open_out (Filename.concat dir file) in
+    output_string oc s;
+    close_out oc
+  in
+  let obs = Mt_obs.Obs.create ~num_cores:threads () in
+  let replay = Mt_check.Explore.run ~obs (resolve name) ~params ~seed:o.seed in
+  let identical =
+    Mt_check.History.to_string replay.history
+    = Mt_check.History.to_string o.history
+  in
+  Mt_obs.Trace.write_file ~num_cores:threads obs (Filename.concat dir "trace.json");
+  write "history.txt" (Mt_check.History.to_string o.history);
+  write "minimized.txt"
+    (Format.asprintf "%a@.@.%s@."
+       Mt_check.Linearize.pp_violation violation
+       (Mt_check.History.to_string (Array.of_list violation.window)));
+  write "repro.txt"
+    (Printf.sprintf
+       "structure=%s threads=%d seed=%d ops=%d range=%d prefill=%d max-delay=%d\n\
+        replay: memtag_fuzz -s %s -t %d --seeds %d --ops %d -r %d --prefill %d \
+        --max-delay %d\n"
+       name threads o.seed params.Mt_check.Explore.ops params.range
+       params.prefill params.max_delay name threads (o.seed + 1) params.ops
+       params.range params.prefill params.max_delay);
+  Format.printf "wrote %s/{trace.json,history.txt,minimized.txt,repro.txt}@." dir;
+  identical
+
 let report_failure name threads (o : Mt_check.Explore.outcome) params =
   let violation =
     match o.verdict with Error v -> v | Ok () -> assert false
@@ -40,13 +77,9 @@ let report_failure name threads (o : Mt_check.Explore.outcome) params =
     o.seed
     (Array.length o.history);
   Format.printf "%a@." Mt_check.Linearize.pp_violation violation;
-  (* Determinism check: replaying the seed must reproduce the history
-     byte for byte. *)
-  let replay = Mt_check.Explore.run (resolve name) ~params ~seed:o.seed in
-  let identical =
-    Mt_check.History.to_string replay.history
-    = Mt_check.History.to_string o.history
-  in
+  (* Determinism check: replaying the seed (here with tracing on) must
+     reproduce the history byte for byte. *)
+  let identical = dump_failure name threads o params violation in
   Format.printf "replay of seed %d byte-identical: %b@." o.seed identical;
   if not identical then
     Format.printf "WARNING: determinism broken — fix the scheduler first@."

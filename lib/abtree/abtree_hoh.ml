@@ -28,7 +28,7 @@ struct
     Node_desc.pack_meta ~leaf:d.leaf ~weight:d.weight ~count:(Array.length d.keys)
 
   let write_desc ctx (d : Node_desc.t) =
-    let n = Ctx.alloc ctx ~words:node_words in
+    let n = Ctx.alloc ~label:"abtree-hoh-node" ctx ~words:node_words in
     Ctx.write ctx n (meta_of d);
     Array.iteri (fun i k -> Ctx.write ctx (n + keys_off + i) k) d.keys;
     Array.iteri (fun i p -> Ctx.write ctx (n + ptrs_off + i) p) d.ptrs;

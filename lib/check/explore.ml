@@ -20,9 +20,10 @@ type outcome = {
   verdict : (unit, Linearize.violation) result;
 }
 
-let run (module S : Mt_list.Set_intf.SET) ~params ~seed =
+let run ?(obs = Mt_obs.Obs.null) (module S : Mt_list.Set_intf.SET) ~params
+    ~seed =
   let p = params in
-  let m = Machine.create (Config.default ~num_cores:p.threads ()) in
+  let m = Machine.create ~obs (Config.default ~num_cores:p.threads ()) in
   let s = Harness.exec1 m (fun ctx -> S.create ctx) in
   if p.prefill > 0 then
     Harness.exec1 m (fun ctx ->

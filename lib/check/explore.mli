@@ -29,10 +29,16 @@ type outcome = {
   verdict : (unit, Linearize.violation) result;
 }
 
-(** [run (module S) ~params ~seed] — execute the workload under the
-    seed's schedule and check the history. *)
+(** [run ?obs (module S) ~params ~seed] — execute the workload under the
+    seed's schedule and check the history. A recording [obs] captures the
+    full simulator event stream of the run (tracing never perturbs the
+    schedule, so a traced replay reproduces the untraced history). *)
 val run :
-  (module Mt_list.Set_intf.SET) -> params:params -> seed:int -> outcome
+  ?obs:Mt_obs.Obs.t ->
+  (module Mt_list.Set_intf.SET) ->
+  params:params ->
+  seed:int ->
+  outcome
 
 (** [sweep (module S) ~params ~seeds] — run seeds [0..seeds-1], stopping
     at the first violation. Returns the number of clean runs and the

@@ -15,6 +15,7 @@ let make machine ~core ~prng =
 let machine t = t.machine
 let core t = t.core
 let prng t = t.prng
+let obs t = Machine.obs t.machine
 let now _t = Runtime.now ()
 
 let charge t lat =
@@ -26,8 +27,8 @@ let charge t lat =
 
 let work t n = if n > 0 then charge t n
 
-let alloc t ~words =
-  let a = Machine.alloc t.machine ~words in
+let alloc ?label t ~words =
+  let a = Machine.alloc ?label t.machine ~words in
   charge t alloc_cycles;
   a
 

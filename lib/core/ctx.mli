@@ -20,6 +20,11 @@ val machine : t -> Mt_sim.Machine.t
 val core : t -> int
 val prng : t -> Mt_sim.Prng.t
 
+(** The machine's observability sink — hook sites above the simulator
+    (STM, kCAS) emit their structured events through this; guard with
+    [Mt_obs.Obs.enabled] before constructing an event. *)
+val obs : t -> Mt_obs.Obs.t
+
 (** Current simulated time of the calling fiber, in cycles. *)
 val now : t -> int
 
@@ -27,9 +32,10 @@ val now : t -> int
     of non-memory work such as key comparisons or node construction). *)
 val work : t -> int -> unit
 
-(** [alloc t ~words] allocates zeroed, line-aligned simulated memory and
-    charges a small allocator cost. *)
-val alloc : t -> words:int -> addr
+(** [alloc ?label t ~words] allocates zeroed, line-aligned simulated memory
+    and charges a small allocator cost. [label] names the owning structure
+    for the hot-line contention profiler. *)
+val alloc : ?label:string -> t -> words:int -> addr
 
 (** {1 Plain shared-memory operations} *)
 

@@ -9,7 +9,7 @@ let exec machine ?(seed = 0x5EED) ?(policy = Runtime.default_policy) ~threads f 
     let prng = Prng.split master in
     Runtime.spawn rt (fun () -> f (Ctx.make machine ~core ~prng))
   done;
-  Runtime.run ~policy rt;
+  Runtime.run ~policy ~obs:(Machine.obs machine) rt;
   Runtime.now ()
 
 let exec1 machine ?(seed = 0x5EED) f =

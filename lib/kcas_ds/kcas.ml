@@ -43,7 +43,7 @@ let rdcss_complete ctx d =
 
 (* RDCSS(a1, o1, a2, o2, n2): write n2 into a2 iff a2 = o2 and a1 = o1. *)
 let rdcss ctx ~a1 ~o1 ~a2 ~o2 ~n2 =
-  let d = Ctx.alloc ctx ~words:5 in
+  let d = Ctx.alloc ~label:"rdcss-desc" ctx ~words:5 in
   Ctx.write ctx d a1;
   Ctx.write ctx (d + 1) o1;
   Ctx.write ctx (d + 2) a2;
@@ -67,6 +67,14 @@ let rdcss ctx ~a1 ~o1 ~a2 ~o2 ~n2 =
   in
   install ()
 
+(* Hook: a thread found a competing MCAS descriptor installed and is
+   helping it complete — the contention signal of the lock-free protocol. *)
+let help_event ctx d =
+  let o = Ctx.obs ctx in
+  if Mt_obs.Obs.enabled o then
+    Mt_obs.Obs.emit o ~core:(Ctx.core ctx) ~time:(Ctx.now ctx)
+      (Mt_obs.Obs.Kcas_help { addr = d })
+
 let rec mcas_help ctx d =
   let n = Ctx.read ctx (d + 1) in
   let entry i = (Ctx.read ctx (d + 2 + (3 * i)), Ctx.read ctx (d + 3 + (3 * i))) in
@@ -79,6 +87,7 @@ let rec mcas_help ctx d =
       let r = rdcss ctx ~a1:d ~o1:undecided ~a2:a ~o2:e ~n2:(mcas_ptr d) in
       if r = e || r = mcas_ptr d then install (i + 1)
       else if is_mcas r then begin
+        help_event ctx (desc_of r);
         ignore (mcas_help ctx (desc_of r));
         install i
       end
@@ -105,7 +114,7 @@ let build_descriptor ctx updates =
   (* Sorted by address: the canonical deadlock/livelock avoidance. *)
   let updates = List.sort (fun u1 u2 -> compare u1.addr u2.addr) updates in
   let n = List.length updates in
-  let d = Ctx.alloc ctx ~words:(2 + (3 * n)) in
+  let d = Ctx.alloc ~label:"mcas-desc" ctx ~words:(2 + (3 * n)) in
   Ctx.write ctx d undecided;
   Ctx.write ctx (d + 1) n;
   List.iteri
@@ -127,6 +136,7 @@ let rec get ctx a =
     get ctx a
   end
   else if is_mcas w then begin
+    help_event ctx (desc_of w);
     ignore (mcas_help ctx (desc_of w));
     get ctx a
   end

@@ -13,11 +13,11 @@ let name = "elided-hoh-list"
 let threshold = 8
 
 let create ctx =
-  let tail = Node.alloc ctx ~key:max_int ~next:Mt_sim.Memory.null ~marked:false in
-  let head = Node.alloc ctx ~key:min_int ~next:tail ~marked:false in
+  let tail = Node.alloc ~label:"elided-node" ctx ~key:max_int ~next:Mt_sim.Memory.null ~marked:false in
+  let head = Node.alloc ~label:"elided-node" ctx ~key:min_int ~next:tail ~marked:false in
   let machine = Ctx.machine ctx in
-  { head; mode = Mode.create machine; lock = Ctx.alloc ctx ~words:1;
-    slow_runs = Ctx.alloc ctx ~words:1 }
+  { head; mode = Mode.create machine; lock = Ctx.alloc ~label:"elided-lock" ctx ~words:1;
+    slow_runs = Ctx.alloc ~label:"elided-lock" ctx ~words:1 }
 
 let slow_path_count machine t = Mt_sim.Machine.peek machine t.slow_runs
 
@@ -57,7 +57,7 @@ let fast_insert ctx t k =
   let pred, curr, ck = locate ctx t k in
   if ck = k then Some false
   else begin
-    let node = Node.alloc ctx ~key:k ~next:curr ~marked:false in
+    let node = Node.alloc ~label:"elided-node" ctx ~key:k ~next:curr ~marked:false in
     if Ctx.vas ctx (pred + Node.next_off) (Node.pack node ~marked:false) then Some true
     else raise Restart
   end
@@ -103,7 +103,7 @@ let slow_insert ctx t k () =
   let pred, curr, ck = slow_locate ctx t k in
   if ck = k then false
   else begin
-    let node = Node.alloc ctx ~key:k ~next:curr ~marked:false in
+    let node = Node.alloc ~label:"elided-node" ctx ~key:k ~next:curr ~marked:false in
     Ctx.write ctx (pred + Node.next_off) (Node.pack node ~marked:false);
     true
   end

@@ -5,8 +5,8 @@ type t = { head : Ctx.addr }
 let name = "harris-list"
 
 let create ctx =
-  let tail = Node.alloc ctx ~key:max_int ~next:Mt_sim.Memory.null ~marked:false in
-  let head = Node.alloc ctx ~key:min_int ~next:tail ~marked:false in
+  let tail = Node.alloc ~label:"harris-node" ctx ~key:max_int ~next:Mt_sim.Memory.null ~marked:false in
+  let head = Node.alloc ~label:"harris-node" ctx ~key:min_int ~next:tail ~marked:false in
   { head }
 
 (* [search ctx t k] returns [(pred, curr, curr_key)] with
@@ -37,7 +37,7 @@ let rec insert ctx t k =
   let pred, curr, ck = search ctx t k in
   if ck = k then false
   else begin
-    let node = Node.alloc ctx ~key:k ~next:curr ~marked:false in
+    let node = Node.alloc ~label:"harris-node" ctx ~key:k ~next:curr ~marked:false in
     if
       Ctx.cas ctx
         (pred + Node.next_off)

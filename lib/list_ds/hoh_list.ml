@@ -5,8 +5,8 @@ type t = { head : Ctx.addr }
 let name = "hoh-list"
 
 let create ctx =
-  let tail = Node.alloc ctx ~key:max_int ~next:Mt_sim.Memory.null ~marked:false in
-  let head = Node.alloc ctx ~key:min_int ~next:tail ~marked:false in
+  let tail = Node.alloc ~label:"hoh-node" ctx ~key:max_int ~next:Mt_sim.Memory.null ~marked:false in
+  let head = Node.alloc ~label:"hoh-node" ctx ~key:min_int ~next:tail ~marked:false in
   { head }
 
 exception Restart
@@ -53,7 +53,7 @@ let rec insert ctx t k =
     false
   end
   else begin
-    let node = Node.alloc ctx ~key:k ~next:curr ~marked:false in
+    let node = Node.alloc ~label:"hoh-node" ctx ~key:k ~next:curr ~marked:false in
     if Ctx.vas ctx (pred + Node.next_off) (Node.pack node ~marked:false) then begin
       Ctx.clear_tag_set ctx;
       true

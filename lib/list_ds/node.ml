@@ -16,9 +16,10 @@ let is_marked packed = packed land 1 = 1
 
 open Mt_core
 
-(* [alloc ctx k next] builds a fresh node (its own cache line). *)
-let alloc ctx ~key ~next ~marked =
-  let node = Ctx.alloc ctx ~words in
+(* [alloc ctx k next] builds a fresh node (its own cache line). [label]
+   attributes the line in the hot-line contention profiler. *)
+let alloc ?(label = "list-node") ctx ~key ~next ~marked =
+  let node = Ctx.alloc ~label ctx ~words in
   Ctx.write ctx (node + key_off) key;
   Ctx.write ctx (node + next_off) (pack next ~marked);
   node

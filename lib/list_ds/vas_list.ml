@@ -5,8 +5,8 @@ type t = { head : Ctx.addr }
 let name = "vas-list"
 
 let create ctx =
-  let tail = Node.alloc ctx ~key:max_int ~next:Mt_sim.Memory.null ~marked:false in
-  let head = Node.alloc ctx ~key:min_int ~next:tail ~marked:false in
+  let tail = Node.alloc ~label:"vas-node" ctx ~key:max_int ~next:Mt_sim.Memory.null ~marked:false in
+  let head = Node.alloc ~label:"vas-node" ctx ~key:min_int ~next:tail ~marked:false in
   { head }
 
 (* HELPIFNEEDED (Algorithm 1, lines 3-12): [curr] is marked; unlink it from
@@ -58,7 +58,7 @@ let rec insert ctx t k =
     match tag_and_check ctx pred curr with
     | None -> insert ctx t k
     | Some _curr_next ->
-        let node = Node.alloc ctx ~key:k ~next:curr ~marked:false in
+        let node = Node.alloc ~label:"vas-node" ctx ~key:k ~next:curr ~marked:false in
         if Ctx.vas ctx (pred + Node.next_off) (Node.pack node ~marked:false) then begin
           Ctx.clear_tag_set ctx;
           true

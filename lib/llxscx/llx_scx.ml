@@ -32,7 +32,7 @@ let payload_addr r ~mutable_fields = r + header_words + mutable_fields
 
 let alloc_record ctx ~mutable_fields ~extra_words =
   if mutable_fields < 0 || extra_words < 0 then invalid_arg "Llx_scx.alloc_record";
-  let r = Ctx.alloc ctx ~words:(header_words + mutable_fields + extra_words) in
+  let r = Ctx.alloc ~label:"llxscx-record" ctx ~words:(header_words + mutable_fields + extra_words) in
   Ctx.write ctx (r + info_off) quiescent_info;
   Ctx.write ctx (r + nfields_off) mutable_fields;
   r
@@ -132,7 +132,7 @@ let scx ctx ~v ~r ~fld ~old_val ~new_val =
   if v = [] then invalid_arg "Llx_scx.scx: empty V";
   if List.length v > 62 then invalid_arg "Llx_scx.scx: V too large";
   let nv = List.length v in
-  let u = Ctx.alloc ctx ~words:(records_off + (2 * nv)) in
+  let u = Ctx.alloc ~label:"scx-desc" ctx ~words:(records_off + (2 * nv)) in
   Ctx.write ctx (u + state_off) in_progress;
   Ctx.write ctx (u + allfrozen_off) 0;
   Ctx.write ctx (u + fld_off) fld;

@@ -1,0 +1,42 @@
+(** Log-bucketed histograms of non-negative integers (simulated cycles).
+
+    Values below 16 are counted exactly; larger values land in one of 8
+    sub-buckets per power of two, so any reported quantile is within 12.5%
+    of the true sample (and exact at the recorded min/max). Adding a sample
+    is O(1) with no allocation; the histogram is deterministic — same
+    samples, same answers. *)
+
+type t
+
+val create : unit -> t
+val clear : t -> unit
+
+(** [add t v] records one sample; negative values clamp to 0. *)
+val add : t -> int -> unit
+
+val count : t -> int
+val min_value : t -> int
+
+(** Largest sample recorded (0 when empty). *)
+val max_value : t -> int
+
+val mean : t -> float
+
+(** [percentile t p] for [p] in [0, 100]: the value at rank
+    ceil(p/100*n), subject to bucket quantisation; [p >= 100] returns the
+    exact max; an empty histogram returns 0. *)
+val percentile : t -> float -> int
+
+(** [merge ~into src] adds every sample of [src] into [into]. *)
+val merge : into:t -> t -> unit
+
+(** Summary object: count/min/p50/p90/p99/max/mean/sum. *)
+val to_json : t -> Json.t
+
+val pp : Format.formatter -> t -> unit
+
+(**/**)
+
+(* Bucket math, exposed for the unit tests. *)
+val bucket_of : int -> int
+val bucket_low : int -> int

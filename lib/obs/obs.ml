@@ -1,0 +1,215 @@
+(* The observability sink. A [t] is either the null sink — [enabled] is
+   false and every hook site in the simulator guards its event construction
+   behind that check, so tracing off costs one load and one branch per hook
+   and allocates nothing — or a recording sink with one bounded event ring
+   per simulated core plus an unbounded per-line contention aggregate.
+
+   Determinism: events are stamped with the simulated clock by the caller
+   and with a global sequence number by [emit]; the runtime is
+   single-threaded, so the sequence order is the exact emission order and
+   is a pure function of the program and its seed. No wall time anywhere. *)
+
+type kind =
+  | L1_miss of { line : int }
+  | L2_miss of { line : int }
+  | Inval_sent of { line : int; victim : int }
+  | Inval_received of { line : int }
+  | Downgrade of { line : int; victim : int }
+  | Writeback of { line : int }
+  | Tag_add of { line : int }
+  | Tag_remove of { line : int }
+  | Tag_evict of { line : int; conflict : bool }
+  | Validate of { ok : bool; spurious : bool }
+  | Vas of { ok : bool }
+  | Ias of { ok : bool }
+  | Stm_abort of { impl : string; reason : string }
+  | Stm_demote
+  | Kcas_help of { addr : int }
+  | Fiber_stall of { cycles : int }
+  | Fiber_resume
+  | Span_begin of { name : string }
+  | Span_end of { name : string }
+
+type event = { seq : int; time : int; core : int; kind : kind }
+
+(* One bounded ring per core: fixed capacity, overwrites the oldest. *)
+type ring = {
+  buf : event option array;
+  mutable next : int;  (* total pushes; next slot = next mod capacity *)
+}
+
+type line_contention = { mutable invals : int; mutable downgrades : int }
+
+type recording = {
+  rings : ring array;
+  mutable seq : int;
+  mutable dropped : int;
+  hot : (int, line_contention) Hashtbl.t;
+  labels : (int, string) Hashtbl.t;  (* line -> owning allocation label *)
+}
+
+type t = Null | Recording of recording
+
+let null = Null
+
+let default_ring_capacity = 1 lsl 16
+
+let create ?(ring_capacity = default_ring_capacity) ~num_cores () =
+  if ring_capacity <= 0 then invalid_arg "Obs.create: ring_capacity";
+  if num_cores <= 0 then invalid_arg "Obs.create: num_cores";
+  Recording
+    {
+      rings =
+        Array.init num_cores (fun _ ->
+            { buf = Array.make ring_capacity None; next = 0 });
+      seq = 0;
+      dropped = 0;
+      hot = Hashtbl.create 1024;
+      labels = Hashtbl.create 1024;
+    }
+
+let enabled = function Null -> false | Recording _ -> true
+
+let hot_entry r line =
+  match Hashtbl.find_opt r.hot line with
+  | Some e -> e
+  | None ->
+      let e = { invals = 0; downgrades = 0 } in
+      Hashtbl.add r.hot line e;
+      e
+
+let emit t ~core ~time kind =
+  match t with
+  | Null -> ()
+  | Recording r ->
+      (match kind with
+      | Inval_sent { line; _ } ->
+          let e = hot_entry r line in
+          e.invals <- e.invals + 1
+      | Downgrade { line; _ } ->
+          let e = hot_entry r line in
+          e.downgrades <- e.downgrades + 1
+      | _ -> ());
+      let ring = r.rings.(core) in
+      let cap = Array.length ring.buf in
+      if ring.next >= cap then r.dropped <- r.dropped + 1;
+      ring.buf.(ring.next mod cap) <-
+        Some { seq = r.seq; time; core; kind };
+      ring.next <- ring.next + 1;
+      r.seq <- r.seq + 1
+
+let dropped = function Null -> 0 | Recording r -> r.dropped
+
+(* Oldest-to-newest contents of one ring. *)
+let ring_events ring =
+  let cap = Array.length ring.buf in
+  let n = min ring.next cap in
+  let first = ring.next - n in
+  List.filter_map
+    (fun i -> ring.buf.((first + i) mod cap))
+    (List.init n (fun i -> i))
+
+(* All recorded events, in global emission order. *)
+let events = function
+  | Null -> []
+  | Recording r ->
+      Array.to_list r.rings
+      |> List.concat_map ring_events
+      |> List.sort (fun (a : event) (b : event) -> compare a.seq b.seq)
+
+let label_lines t ~line_lo ~line_hi label =
+  match t with
+  | Null -> ()
+  | Recording r ->
+      for line = line_lo to line_hi do
+        (* First allocation wins; lines are never reallocated (bump
+           allocator), so a clash would be a simulator bug. *)
+        if not (Hashtbl.mem r.labels line) then Hashtbl.add r.labels line label
+      done
+
+let label_of t line =
+  match t with Null -> None | Recording r -> Hashtbl.find_opt r.labels line
+
+type hot_line = {
+  hl_line : int;
+  hl_invals : int;
+  hl_downgrades : int;
+  hl_label : string option;
+}
+
+let hot_lines ?(top = 10) t =
+  match t with
+  | Null -> []
+  | Recording r ->
+      let all =
+        Hashtbl.fold
+          (fun line e acc ->
+            {
+              hl_line = line;
+              hl_invals = e.invals;
+              hl_downgrades = e.downgrades;
+              hl_label = Hashtbl.find_opt r.labels line;
+            }
+            :: acc)
+          r.hot []
+      in
+      let sorted =
+        List.sort
+          (fun a b ->
+            let ca = a.hl_invals + a.hl_downgrades
+            and cb = b.hl_invals + b.hl_downgrades in
+            if ca <> cb then compare cb ca else compare a.hl_line b.hl_line)
+          all
+      in
+      List.filteri (fun i _ -> i < top) sorted
+
+(* ------------------------------------------------------------------ *)
+(* Event names and structured arguments (shared by the trace exporter
+   and any textual dump). *)
+
+let kind_name = function
+  | L1_miss _ -> "l1-miss"
+  | L2_miss _ -> "l2-miss"
+  | Inval_sent _ -> "inval-sent"
+  | Inval_received _ -> "inval-received"
+  | Downgrade _ -> "downgrade"
+  | Writeback _ -> "writeback"
+  | Tag_add _ -> "tag-add"
+  | Tag_remove _ -> "tag-remove"
+  | Tag_evict { conflict = true; _ } -> "tag-evict-conflict"
+  | Tag_evict { conflict = false; _ } -> "tag-evict-capacity"
+  | Validate { ok = true; _ } -> "validate-ok"
+  | Validate { ok = false; spurious = false } -> "validate-fail"
+  | Validate { ok = false; spurious = true } -> "validate-fail-spurious"
+  | Vas { ok = true } -> "vas-ok"
+  | Vas { ok = false } -> "vas-fail"
+  | Ias { ok = true } -> "ias-ok"
+  | Ias { ok = false } -> "ias-fail"
+  | Stm_abort _ -> "stm-abort"
+  | Stm_demote -> "stm-demote"
+  | Kcas_help _ -> "kcas-help"
+  | Fiber_stall _ -> "stall"
+  | Fiber_resume -> "resume"
+  | Span_begin { name } | Span_end { name } -> name
+
+let kind_args t = function
+  | L1_miss { line } | L2_miss { line } | Writeback { line }
+  | Inval_received { line } | Tag_add { line } | Tag_remove { line } ->
+      [ ("line", Json.Int line) ]
+  | Tag_evict { line; conflict } ->
+      [ ("line", Json.Int line); ("conflict", Json.Bool conflict) ]
+  | Inval_sent { line; victim } | Downgrade { line; victim } ->
+      let base = [ ("line", Json.Int line); ("victim", Json.Int victim) ] in
+      (match label_of t line with
+      | Some l -> base @ [ ("owner", Json.String l) ]
+      | None -> base)
+  | Validate { ok; spurious } ->
+      [ ("ok", Json.Bool ok); ("spurious", Json.Bool spurious) ]
+  | Vas { ok } | Ias { ok } -> [ ("ok", Json.Bool ok) ]
+  | Stm_abort { impl; reason } ->
+      [ ("impl", Json.String impl); ("reason", Json.String reason) ]
+  | Stm_demote -> []
+  | Kcas_help { addr } -> [ ("addr", Json.Int addr) ]
+  | Fiber_stall { cycles } -> [ ("cycles", Json.Int cycles) ]
+  | Fiber_resume -> []
+  | Span_begin _ | Span_end _ -> []

@@ -1,0 +1,96 @@
+(** Simulator-wide event tracing: the sink.
+
+    A sink is either {!null} — disabled, [enabled] is [false], and
+    {!emit} is a no-op — or a recording sink created by {!create} with one
+    bounded ring buffer per simulated core plus a per-cache-line contention
+    aggregate (the hot-line profiler).
+
+    {b Zero-overhead-off contract}: every hook site in the simulator must
+    guard event {e construction} behind [if Obs.enabled obs then ...], so
+    that a disabled sink costs exactly one load and one branch per hook and
+    never allocates.
+
+    {b Determinism}: callers stamp events with the simulated clock; [emit]
+    adds a global sequence number in emission order. The runtime is
+    single-OS-threaded, so for a fixed program and seed the recorded event
+    stream is always byte-identical. No wall time is ever read. *)
+
+type kind =
+  | L1_miss of { line : int }
+  | L2_miss of { line : int }
+  | Inval_sent of { line : int; victim : int }
+      (** Issuer-side: this core invalidated [victim]'s copy of [line]. *)
+  | Inval_received of { line : int }
+  | Downgrade of { line : int; victim : int }
+  | Writeback of { line : int }
+  | Tag_add of { line : int }
+  | Tag_remove of { line : int }
+  | Tag_evict of { line : int; conflict : bool }
+      (** A live tag died: [conflict] distinguishes a real remote
+          invalidation from a spurious capacity eviction. *)
+  | Validate of { ok : bool; spurious : bool }
+  | Vas of { ok : bool }
+  | Ias of { ok : bool }
+  | Stm_abort of { impl : string; reason : string }
+  | Stm_demote  (** Tagged NOrec fell off the tag fast path. *)
+  | Kcas_help of { addr : int }
+  | Fiber_stall of { cycles : int }
+  | Fiber_resume
+  | Span_begin of { name : string }
+  | Span_end of { name : string }
+
+type event = { seq : int; time : int; core : int; kind : kind }
+
+type t
+
+(** The disabled sink. *)
+val null : t
+
+val default_ring_capacity : int
+
+(** [create ?ring_capacity ~num_cores ()] — a recording sink. Each core's
+    ring holds the last [ring_capacity] (default 65536) events; older
+    events are overwritten and counted in {!dropped}. *)
+val create : ?ring_capacity:int -> num_cores:int -> unit -> t
+
+val enabled : t -> bool
+
+(** [emit t ~core ~time kind] records an event (no-op on {!null}). [time]
+    is the simulated clock in cycles. *)
+val emit : t -> core:int -> time:int -> kind -> unit
+
+(** Events overwritten by ring wraparound, across all cores. *)
+val dropped : t -> int
+
+(** All retained events in global emission order (ties impossible: the
+    sequence number is unique). *)
+val events : t -> event list
+
+(** {1 Line ownership labels and the hot-line profiler} *)
+
+(** [label_lines t ~line_lo ~line_hi label] attributes a line range to an
+    allocation site ("harris-node", "stm-seqlock", ...). First label wins;
+    the simulated allocator never reuses lines. *)
+val label_lines : t -> line_lo:int -> line_hi:int -> string -> unit
+
+val label_of : t -> int -> string option
+
+type hot_line = {
+  hl_line : int;
+  hl_invals : int;
+  hl_downgrades : int;
+  hl_label : string option;
+}
+
+(** Most-contended lines, by invalidations+downgrades received, ties by
+    line number. Aggregated over the whole recording (not bounded by the
+    rings). *)
+val hot_lines : ?top:int -> t -> hot_line list
+
+(** {1 Event rendering helpers} *)
+
+val kind_name : kind -> string
+
+(** Structured arguments of an event, for the trace exporter; [t] supplies
+    ownership labels. *)
+val kind_args : t -> kind -> (string * Json.t) list

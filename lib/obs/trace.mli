@@ -1,0 +1,23 @@
+(** Chrome trace-event JSON export (load the file in Perfetto via
+    [ui.perfetto.dev] or [chrome://tracing]) and the textual hot-line
+    contention report.
+
+    One track per simulated core; simulated cycles are written 1:1 as the
+    format's microsecond timestamps. Export is a pure function of the
+    recorded event stream: two identical runs produce byte-identical
+    files. *)
+
+(** [to_json ?num_cores obs] — the full trace document. [num_cores] forces
+    thread-name metadata for cores that recorded no events. *)
+val to_json : ?num_cores:int -> Obs.t -> Json.t
+
+val to_string : ?num_cores:int -> Obs.t -> string
+
+(** [write_file ?num_cores obs path] writes the trace JSON to [path]. *)
+val write_file : ?num_cores:int -> Obs.t -> string -> unit
+
+(** Top contended lines as JSON (line, invalidations, downgrades, owner). *)
+val hot_lines_json : ?top:int -> Obs.t -> Json.t
+
+(** Human-readable top-N contended-line table with ownership labels. *)
+val pp_hot_lines : ?top:int -> Format.formatter -> Obs.t -> unit

@@ -1,3 +1,5 @@
+module Obs = Mt_obs.Obs
+
 type core = {
   id : int;
   l1 : Cache.t;
@@ -11,9 +13,10 @@ type t = {
   mem : Memory.t;
   dir : Directory.t;
   cores : core array;
+  obs : Obs.t;
 }
 
-let create cfg =
+let create ?(obs = Obs.null) cfg =
   {
     cfg;
     mem = Memory.create cfg;
@@ -27,11 +30,18 @@ let create cfg =
             tags = Memtag_unit.create ~max_tags:cfg.max_tags;
             stats = Stats.create ();
           });
+    obs;
   }
 
 let cfg t = t.cfg
 let memory t = t.mem
 let num_cores t = Array.length t.cores
+let obs t = t.obs
+
+(* Hook helper: every call site guards with [Obs.enabled] so a disabled
+   sink never allocates an event. Timestamps are the simulated clock. *)
+let ev t core kind = Obs.emit t.obs ~core ~time:(Runtime.now ()) kind
+let on t = Obs.enabled t.obs
 
 let core t core =
   if core < 0 || core >= Array.length t.cores then
@@ -42,7 +52,16 @@ let stats t ~core:c = (core t c).stats
 let total_stats t = Stats.sum (Array.map (fun c -> c.stats) t.cores)
 let reset_stats t = Array.iter (fun c -> Stats.reset c.stats) t.cores
 
-let alloc t ~words = Memory.alloc t.mem ~words
+let alloc ?label t ~words =
+  let addr = Memory.alloc t.mem ~words in
+  (match label with
+  | Some label when on t ->
+      Obs.label_lines t.obs
+        ~line_lo:(Config.line_of_addr t.cfg addr)
+        ~line_hi:(Config.line_of_addr t.cfg (addr + words - 1))
+        label
+  | _ -> ());
+  addr
 let peek t addr = Memory.get t.mem addr
 let poke t addr v = Memory.set t.mem addr v
 
@@ -57,6 +76,12 @@ let invalidate_remote t victim line =
   Cache.remove v.l1 line;
   Cache.remove v.l2 line;
   if dirty then v.stats.writebacks <- v.stats.writebacks + 1;
+  if on t then begin
+    ev t victim (Obs.Inval_received { line });
+    if dirty then ev t victim (Obs.Writeback { line });
+    if Memtag_unit.live v.tags line then
+      ev t victim (Obs.Tag_evict { line; conflict = true })
+  end;
   Memtag_unit.on_evict v.tags line Memtag_unit.Conflict;
   v.stats.invalidations_received <- v.stats.invalidations_received + 1;
   Directory.drop t.dir line victim
@@ -65,7 +90,12 @@ let invalidate_remote t victim line =
    survive — a downgrade is not an invalidation. *)
 let downgrade_remote t victim line =
   let v = t.cores.(victim) in
-  if Cache.find v.l2 line = M then v.stats.writebacks <- v.stats.writebacks + 1;
+  let dirty = Cache.find v.l2 line = M in
+  if dirty then v.stats.writebacks <- v.stats.writebacks + 1;
+  if on t then begin
+    ev t victim (Obs.Downgrade { line; victim });
+    if dirty then ev t victim (Obs.Writeback { line })
+  end;
   Cache.set_state v.l2 line Cache.S;
   Cache.set_state v.l1 line Cache.S;
   v.stats.downgrades_received <- v.stats.downgrades_received + 1
@@ -75,10 +105,13 @@ let downgrade_remote t victim line =
 
 (* L1 victim stays in L2 (inclusive hierarchy), but its tag dies: MemTags
    live at the L1 level, so falling out of L1 is a (spurious) eviction. *)
-let l1_insert c line st =
+let l1_insert t c line st =
   match Cache.insert c.l1 line st with
   | None -> ()
-  | Some (vline, _vst) -> Memtag_unit.on_evict c.tags vline Memtag_unit.Capacity
+  | Some (vline, _vst) ->
+      if on t && Memtag_unit.live c.tags vline then
+        ev t c.id (Obs.Tag_evict { line = vline; conflict = false });
+      Memtag_unit.on_evict c.tags vline Memtag_unit.Capacity
 
 (* An L2 victim leaves the whole hierarchy: back-invalidate the L1 copy
    (inclusion), write back if dirty, and tell the directory. *)
@@ -88,9 +121,14 @@ let l2_insert t c line st =
   | Some (vline, vst) ->
       if Cache.find c.l1 vline <> Cache.I then begin
         Cache.remove c.l1 vline;
+        if on t && Memtag_unit.live c.tags vline then
+          ev t c.id (Obs.Tag_evict { line = vline; conflict = false });
         Memtag_unit.on_evict c.tags vline Memtag_unit.Capacity
       end;
-      if vst = Cache.M then c.stats.writebacks <- c.stats.writebacks + 1;
+      if vst = Cache.M then begin
+        c.stats.writebacks <- c.stats.writebacks + 1;
+        if on t then ev t c.id (Obs.Writeback { line = vline })
+      end;
       Directory.drop t.dir vline c.id
 
 (* ------------------------------------------------------------------ *)
@@ -107,6 +145,7 @@ let upgrade_from_shared t c line =
   let others = Directory.others t.dir line c.id in
   List.iter
     (fun o ->
+      if on t then ev t c.id (Obs.Inval_sent { line; victim = o });
       invalidate_remote t o line;
       c.stats.invalidations_sent <- c.stats.invalidations_sent + 1)
     others;
@@ -143,27 +182,29 @@ let acquire t c line ~excl =
       cfg.lat_l1 + lat
   | Cache.I -> begin
       c.stats.l1_misses <- c.stats.l1_misses + 1;
+      if on t then ev t c.id (Obs.L1_miss { line });
       match Cache.find c.l2 line with
       | (Cache.M | Cache.E) as st2 ->
           c.stats.l2_hits <- c.stats.l2_hits + 1;
           let st = if excl then Cache.M else st2 in
           if excl && st2 = Cache.E then Cache.set_state c.l2 line Cache.M;
-          l1_insert c line st;
+          l1_insert t c line st;
           cfg.lat_l2
       | Cache.S when not excl ->
           c.stats.l2_hits <- c.stats.l2_hits + 1;
-          l1_insert c line Cache.S;
+          l1_insert t c line Cache.S;
           cfg.lat_l2
       | Cache.S ->
           c.stats.l2_hits <- c.stats.l2_hits + 1;
           let lat = upgrade_from_shared t c line in
           Cache.set_state c.l2 line Cache.M;
-          l1_insert c line Cache.M;
+          l1_insert t c line Cache.M;
           cfg.lat_l2 + lat
       | Cache.I ->
           (* Full miss: directory transaction. *)
           c.stats.l2_misses <- c.stats.l2_misses + 1;
           c.stats.coherence_msgs <- c.stats.coherence_msgs + 1;
+          if on t then ev t c.id (Obs.L2_miss { line });
           let lat = ref cfg.lat_dir in
           let st =
             if excl then begin
@@ -171,12 +212,14 @@ let acquire t c line ~excl =
               | Directory.Uncached -> lat := !lat + cfg.lat_mem
               | Directory.Excl o ->
                   assert (o <> c.id);
+                  if on t then ev t c.id (Obs.Inval_sent { line; victim = o });
                   invalidate_remote t o line;
                   c.stats.invalidations_sent <- c.stats.invalidations_sent + 1;
                   lat := !lat + cfg.lat_remote
               | Directory.Shared cores ->
                   List.iter
                     (fun o ->
+                      if on t then ev t c.id (Obs.Inval_sent { line; victim = o });
                       invalidate_remote t o line;
                       c.stats.invalidations_sent <- c.stats.invalidations_sent + 1)
                     cores;
@@ -203,7 +246,7 @@ let acquire t c line ~excl =
             end
           in
           l2_insert t c line st;
-          l1_insert c line st;
+          l1_insert t c line st;
           !lat
     end
 
@@ -219,14 +262,22 @@ let invalidate_taggers t c line =
         incr hit;
         if Cache.find v.l2 line <> Cache.I || Cache.find v.l1 line <> Cache.I
         then begin
-          if Cache.find v.l2 line = Cache.M then
+          if Cache.find v.l2 line = Cache.M then begin
             v.stats.writebacks <- v.stats.writebacks + 1;
+            if on t then ev t v.id (Obs.Writeback { line })
+          end;
           Cache.remove v.l1 line;
           Cache.remove v.l2 line;
           Directory.drop t.dir line v.id;
           v.stats.invalidations_received <- v.stats.invalidations_received + 1;
-          c.stats.invalidations_sent <- c.stats.invalidations_sent + 1
+          c.stats.invalidations_sent <- c.stats.invalidations_sent + 1;
+          if on t then begin
+            ev t c.id (Obs.Inval_sent { line; victim = v.id });
+            ev t v.id (Obs.Inval_received { line })
+          end
         end;
+        if on t && Memtag_unit.live v.tags line then
+          ev t v.id (Obs.Tag_evict { line; conflict = true });
         Memtag_unit.on_evict v.tags line Memtag_unit.Conflict
       end)
     t.cores;
@@ -286,6 +337,7 @@ let add_tag t ~core:cid addr ~words =
       let l = acquire t c line ~excl:false in
       Memtag_unit.add c.tags line;
       c.stats.tag_adds <- c.stats.tag_adds + 1;
+      if on t then ev t c.id (Obs.Tag_add { line });
       lat + l + t.cfg.lat_tag_op)
     0 lines
 
@@ -298,6 +350,7 @@ let add_tag_read t ~core:cid addr ~words =
         let l = acquire t c line ~excl:false in
         Memtag_unit.add c.tags line;
         c.stats.tag_adds <- c.stats.tag_adds + 1;
+        if on t then ev t c.id (Obs.Tag_add { line });
         lat + l + t.cfg.lat_tag_op)
       0 lines
   in
@@ -311,10 +364,11 @@ let remove_tag t ~core:cid addr ~words =
     (fun lat line ->
       Memtag_unit.remove c.tags line;
       c.stats.tag_removes <- c.stats.tag_removes + 1;
+      if on t then ev t c.id (Obs.Tag_remove { line });
       lat + t.cfg.lat_tag_op)
     0 lines
 
-let record_verdict c (verdict : Memtag_unit.verdict) =
+let record_verdict t c (verdict : Memtag_unit.verdict) =
   c.stats.validates <- c.stats.validates + 1;
   (match verdict with
   | Memtag_unit.Ok -> ()
@@ -324,11 +378,18 @@ let record_verdict c (verdict : Memtag_unit.verdict) =
       c.stats.validate_failures <- c.stats.validate_failures + 1;
       c.stats.validate_failures_spurious <- c.stats.validate_failures_spurious + 1);
   if Memtag_unit.overflowed c.tags then c.stats.tag_overflows <- c.stats.tag_overflows + 1;
+  if on t then
+    ev t c.id
+      (Obs.Validate
+         {
+           ok = verdict = Memtag_unit.Ok;
+           spurious = verdict = Memtag_unit.Fail_spurious;
+         });
   verdict = Memtag_unit.Ok
 
 let validate t ~core:cid =
   let c = core t cid in
-  (record_verdict c (Memtag_unit.check c.tags), t.cfg.lat_validate)
+  (record_verdict t c (Memtag_unit.check c.tags), t.cfg.lat_validate)
 
 let clear_tag_set t ~core:cid =
   let c = core t cid in
@@ -340,9 +401,10 @@ let tag_count t ~core:cid = Memtag_unit.count (core t cid).tags
 let vas t ~core:cid addr v =
   let c = core t cid in
   c.stats.vas_ops <- c.stats.vas_ops + 1;
-  if not (record_verdict c (Memtag_unit.check c.tags)) then begin
+  if not (record_verdict t c (Memtag_unit.check c.tags)) then begin
     (* Fail-fast: purely local, no coherence traffic at all. *)
     c.stats.vas_failures <- c.stats.vas_failures + 1;
+    if on t then ev t c.id (Obs.Vas { ok = false });
     (false, t.cfg.lat_validate)
   end
   else begin
@@ -351,10 +413,12 @@ let vas t ~core:cid addr v =
        re-check; own writes never evict own tags. *)
     if Memtag_unit.check c.tags <> Memtag_unit.Ok then begin
       c.stats.vas_failures <- c.stats.vas_failures + 1;
+      if on t then ev t c.id (Obs.Vas { ok = false });
       (false, t.cfg.lat_validate + lat)
     end
     else begin
       Memory.set t.mem addr v;
+      if on t then ev t c.id (Obs.Vas { ok = true });
       (true, t.cfg.lat_validate + lat)
     end
   end
@@ -362,8 +426,9 @@ let vas t ~core:cid addr v =
 let ias t ~core:cid addr v =
   let c = core t cid in
   c.stats.ias_ops <- c.stats.ias_ops + 1;
-  if not (record_verdict c (Memtag_unit.check c.tags)) then begin
+  if not (record_verdict t c (Memtag_unit.check c.tags)) then begin
     c.stats.ias_failures <- c.stats.ias_failures + 1;
+    if on t then ev t c.id (Obs.Ias { ok = false });
     (false, t.cfg.lat_validate)
   end
   else begin
@@ -389,10 +454,12 @@ let ias t ~core:cid addr v =
     let lat = lat + acquire t c target ~excl:true in
     if Memtag_unit.check c.tags <> Memtag_unit.Ok then begin
       c.stats.ias_failures <- c.stats.ias_failures + 1;
+      if on t then ev t c.id (Obs.Ias { ok = false });
       (false, t.cfg.lat_validate + lat)
     end
     else begin
       Memory.set t.mem addr v;
+      if on t then ev t c.id (Obs.Ias { ok = true });
       (true, t.cfg.lat_validate + lat)
     end
   end

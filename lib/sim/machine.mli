@@ -14,11 +14,18 @@
 
 type t
 
-val create : Config.t -> t
+(** [create ?obs cfg] — [obs] (default {!Mt_obs.Obs.null}) is the machine's
+    observability sink; every coherence, tag and validation action emits a
+    structured event into it when recording is enabled, at zero cost
+    otherwise (one branch per hook, no allocation). *)
+val create : ?obs:Mt_obs.Obs.t -> Config.t -> t
 
 val cfg : t -> Config.t
 val memory : t -> Memory.t
 val num_cores : t -> int
+
+(** The sink passed at creation (or the null sink). *)
+val obs : t -> Mt_obs.Obs.t
 
 (** Per-core counters; [core] must be in [0 .. num_cores-1]. *)
 val stats : t -> core:int -> Stats.t
@@ -29,8 +36,10 @@ val total_stats : t -> Stats.t
 (** Zero all counters (used to discard warmup). *)
 val reset_stats : t -> unit
 
-(** [alloc t ~words] allocates zeroed, line-aligned simulated memory. *)
-val alloc : t -> words:int -> Memory.addr
+(** [alloc ?label t ~words] allocates zeroed, line-aligned simulated
+    memory. [label] attributes the lines to an owning structure in the
+    hot-line contention profiler (recorded only when tracing is on). *)
+val alloc : ?label:string -> t -> words:int -> Memory.addr
 
 (** {1 Plain memory operations} — value/latency results. *)
 

@@ -40,6 +40,8 @@ let remove t line =
 
 let is_tagged t line = Hashtbl.mem t.tbl line
 
+let live t line = Hashtbl.find_opt t.tbl line = Some Tagged
+
 let on_evict t line cause =
   match Hashtbl.find_opt t.tbl line with
   | None | Some (Evicted Conflict) -> ()

@@ -25,6 +25,10 @@ val remove : t -> int -> unit
     evicted). *)
 val is_tagged : t -> int -> bool
 
+(** [live t line] is true if the line is tagged and not yet evicted — the
+    tags whose loss an eviction event should report. *)
+val live : t -> int -> bool
+
 (** Called by the cache model when the L1 loses a line. *)
 val on_evict : t -> int -> cause -> unit
 

@@ -62,7 +62,7 @@ let fiber_id () =
   if !current_fiber < 0 then invalid_arg "Runtime.fiber_id: not inside a fiber";
   !current_fiber
 
-let run ?(policy = default_policy) t =
+let run ?(policy = default_policy) ?(obs = Mt_obs.Obs.null) t =
   if !active then invalid_arg "Runtime.run: a run is already active";
   active := true;
   clock := 0;
@@ -78,7 +78,11 @@ let run ?(policy = default_policy) t =
             | Stall n ->
                 Some
                   (fun (k : (a, unit) continuation) ->
-                    clocks.(tid) <- clocks.(tid) + n + policy.extra_delay ~tid;
+                    let delay = n + policy.extra_delay ~tid in
+                    if Mt_obs.Obs.enabled obs then
+                      Mt_obs.Obs.emit obs ~core:tid ~time:!clock
+                        (Mt_obs.Obs.Fiber_stall { cycles = delay });
+                    clocks.(tid) <- clocks.(tid) + delay;
                     Pqueue.add t.ready ~time:clocks.(tid)
                       ~tie:(policy.tie_of ~tid)
                       (tid, fun () -> continue k ()))
@@ -99,6 +103,8 @@ let run ?(policy = default_policy) t =
        let time, _tie, (tid, resume) = Pqueue.pop_min t.ready in
        clock := time;
        current_fiber := tid;
+       if Mt_obs.Obs.enabled obs then
+         Mt_obs.Obs.emit obs ~core:tid ~time Mt_obs.Obs.Fiber_resume;
        resume ()
      done
    with exn ->

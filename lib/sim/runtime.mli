@@ -41,10 +41,13 @@ val create : unit -> t
     spawn order. Must be called before {!run}. *)
 val spawn : t -> (unit -> unit) -> unit
 
-(** [run ?policy t] executes all fibers to completion under [policy]
+(** [run ?policy ?obs t] executes all fibers to completion under [policy]
     (default {!default_policy}). Exceptions escaping a fiber abort the
-    whole run and are re-raised. *)
-val run : ?policy:policy -> t -> unit
+    whole run and are re-raised. When [obs] is a recording sink, every
+    scheduling step emits fiber stall/resume events onto the stalling
+    fiber's core track (simulated timestamps only — tracing never perturbs
+    the schedule). *)
+val run : ?policy:policy -> ?obs:Mt_obs.Obs.t -> t -> unit
 
 (** [stall n] suspends the calling fiber for [n >= 0] simulated cycles.
     Must be called from within a fiber. *)

@@ -13,10 +13,10 @@ module Make (S : Mt_stm.Stm_intf.S) = struct
 
   let null = Mt_sim.Memory.null
 
-  let create ctx = { root_cell = Ctx.alloc ctx ~words:1 }
+  let create ctx = { root_cell = Ctx.alloc ~label:"txmap-root" ctx ~words:1 }
 
   let alloc_node tx k v =
-    let n = Ctx.alloc (S.ctx tx) ~words:node_words in
+    let n = Ctx.alloc ~label:"txmap-node" (S.ctx tx) ~words:node_words in
     S.write tx (n + key_off) k;
     S.write tx (n + val_off) v;
     S.write tx (n + left_off) null;

@@ -22,8 +22,16 @@ type tx = {
 
 let name = "norec"
 
+(* Hook: record the abort (with its cause) on the aborting core's trace
+   track; free when tracing is off. *)
+let abort_event ctx reason =
+  let o = Ctx.obs ctx in
+  if Mt_obs.Obs.enabled o then
+    Mt_obs.Obs.emit o ~core:(Ctx.core ctx) ~time:(Ctx.now ctx)
+      (Mt_obs.Obs.Stm_abort { impl = name; reason })
+
 let create ctx =
-  let seqlock = Ctx.alloc ctx ~words:1 in
+  let seqlock = Ctx.alloc ~label:"norec-seqlock" ctx ~words:1 in
   { seqlock; commits = 0; aborts = 0; vbv_passes = 0 }
 
 let commits t = t.commits
@@ -52,7 +60,10 @@ let rec validate tx =
   let consistent =
     List.for_all (fun (a, v) -> Ctx.read tx.ctx a = v) tx.reads
   in
-  if not consistent then raise Abort
+  if not consistent then begin
+    abort_event tx.ctx "vbv-inconsistent";
+    raise Abort
+  end
   else if Ctx.read tx.ctx tx.stm.seqlock = time then begin
     tx.snapshot <- time;
     time

@@ -25,8 +25,13 @@ type tx = {
 
 let name = "norec-tagged"
 
+let obs_event ctx kind =
+  let o = Ctx.obs ctx in
+  if Mt_obs.Obs.enabled o then
+    Mt_obs.Obs.emit o ~core:(Ctx.core ctx) ~time:(Ctx.now ctx) kind
+
 let create ctx =
-  let seqlock = Ctx.alloc ctx ~words:1 in
+  let seqlock = Ctx.alloc ~label:"norec-tagged-seqlock" ctx ~words:1 in
   {
     seqlock;
     commits = 0;
@@ -61,7 +66,10 @@ let rec validate_vbv tx =
   let time = read_sequence tx in
   tx.stm.vbv_passes <- tx.stm.vbv_passes + 1;
   let consistent = List.for_all (fun (a, v) -> Ctx.read tx.ctx a = v) tx.reads in
-  if not consistent then raise Abort
+  if not consistent then begin
+    obs_event tx.ctx (Mt_obs.Obs.Stm_abort { impl = name; reason = "vbv-inconsistent" });
+    raise Abort
+  end
   else if Ctx.read tx.ctx tx.stm.seqlock = time then begin
     tx.snapshot <- time;
     time
@@ -72,6 +80,7 @@ let rec validate_vbv tx =
 let demote tx =
   tx.tagged <- false;
   tx.stm.demotions <- tx.stm.demotions + 1;
+  obs_event tx.ctx Mt_obs.Obs.Stm_demote;
   Ctx.clear_tag_set tx.ctx
 
 (* Fast revalidation after the tag set broke locally: re-tag the sequence

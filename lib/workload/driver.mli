@@ -1,6 +1,7 @@
 (** Runs a {!Spec} against any {!Mt_list.Set_intf.SET} implementation and
-    extracts the three metrics the paper's figures report: throughput, L1
-    miss rate, and energy. *)
+    extracts the three metrics the paper's figures report — throughput, L1
+    miss rate, energy — plus per-operation latency percentiles and the
+    abort-cause breakdown. *)
 
 type result = {
   impl : string;
@@ -15,26 +16,41 @@ type result = {
   validate_failures : int;
   validate_failures_spurious : int;
   cas_failures : int;
+  latency : Mt_obs.Hist.t;     (** per-op latency of the measured window *)
   stats : Mt_sim.Stats.t;      (** full aggregated counters of the window *)
 }
 
-(** [run_set ?cfg set spec] builds a fresh machine (default config sized to
-    [spec.threads] cores unless [cfg] is given), populates the structure,
-    runs a warmup window, resets counters, and measures. Deterministic in
-    [spec.seed]. *)
+(** [run_set ?cfg ?obs set spec] builds a fresh machine (default config
+    sized to [spec.threads] cores unless [cfg] is given), populates the
+    structure, runs a warmup window, resets counters, and measures.
+    Deterministic in [spec.seed]. When [obs] is a recording sink it is
+    attached to the machine (all simulator events) and each logical
+    operation additionally appears as a span on its core's track. *)
 val run_set :
-  ?cfg:Mt_sim.Config.t -> (module Mt_list.Set_intf.SET) -> Spec.t -> result
+  ?cfg:Mt_sim.Config.t ->
+  ?obs:Mt_obs.Obs.t ->
+  (module Mt_list.Set_intf.SET) ->
+  Spec.t ->
+  result
 
-(** [run_custom ?cfg ~name ~setup ~op spec] is the generic form used by the
-    STM/vacation benchmarks: [setup] builds the shared state on core 0;
-    [op] performs one logical operation (given the per-thread PRNG-equipped
-    ctx and the state). *)
+(** [run_custom ?cfg ?obs ~name ~setup ~op spec] is the generic form used
+    by the STM/vacation benchmarks: [setup] builds the shared state on core
+    0; [op] performs one logical operation (given the per-thread
+    PRNG-equipped ctx and the state). *)
 val run_custom :
   ?cfg:Mt_sim.Config.t ->
+  ?obs:Mt_obs.Obs.t ->
   name:string ->
   setup:(Mt_core.Ctx.t -> 'a) ->
   op:(Mt_core.Ctx.t -> 'a -> unit) ->
   Spec.t ->
   result
 
+(** One human-readable row: throughput, L1 miss rate, energy/op, latency
+    p50/p99, and the abort-cause breakdown (real vs spurious validation
+    failures, CAS failures). *)
 val pp_result : Format.formatter -> result -> unit
+
+(** Stable machine-readable form of one point (the [BENCH_*.json] per-point
+    schema): metrics, latency summary, abort breakdown, raw counters. *)
+val result_to_json : result -> Mt_obs.Json.t

@@ -1,0 +1,271 @@
+(* Unit tests for the observability layer: histogram bucket/percentile
+   math (including the empty and single-sample edge cases), ring-buffer
+   wraparound ordering, well-formedness of the exported trace JSON, and
+   the end-to-end determinism guarantee — two identically-seeded traced
+   runs produce byte-identical Perfetto files, and tracing never changes
+   the simulated metrics. *)
+
+module Obs = Mt_obs.Obs
+module Hist = Mt_obs.Hist
+module Json = Mt_obs.Json
+module Trace = Mt_obs.Trace
+module Spec = Mt_workload.Spec
+module Driver = Mt_workload.Driver
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+
+(* ------------------------------------------------------------------ *)
+(* Histogram bucket math. *)
+
+let test_hist_buckets_exact_small () =
+  (* Values below 16 get one bucket each, exactly. *)
+  for v = 0 to 15 do
+    check_int (Printf.sprintf "bucket_of %d" v) v (Hist.bucket_of v);
+    check_int (Printf.sprintf "bucket_low %d" v) v (Hist.bucket_low v)
+  done
+
+let test_hist_buckets_monotone () =
+  (* bucket_of is monotone and bucket_low is a lower inverse:
+     bucket_low (bucket_of v) <= v, within 12.5%. *)
+  let prev = ref (-1) in
+  let v = ref 1 in
+  while !v < 1 lsl 40 do
+    let b = Hist.bucket_of !v in
+    check_bool "monotone" true (b >= !prev);
+    prev := b;
+    let low = Hist.bucket_low b in
+    check_bool "low <= v" true (low <= !v);
+    check_bool "within 12.5%" true (float_of_int (!v - low) <= 0.125 *. float_of_int !v);
+    v := !v + 1 + (!v / 3)
+  done
+
+let test_hist_empty () =
+  let h = Hist.create () in
+  check_int "count" 0 (Hist.count h);
+  check_int "p50" 0 (Hist.percentile h 50.0);
+  check_int "p99.9" 0 (Hist.percentile h 99.9);
+  check_int "max" 0 (Hist.max_value h);
+  check_bool "mean" true (Hist.mean h = 0.0)
+
+let test_hist_single_sample () =
+  let h = Hist.create () in
+  Hist.add h 1234;
+  (* With one sample every percentile is exactly that sample: the
+     clamp-to-[min,max] rule makes quantisation invisible here. *)
+  List.iter
+    (fun p -> check_int (Printf.sprintf "p%g" p) 1234 (Hist.percentile h p))
+    [ 0.0; 1.0; 50.0; 90.0; 99.0; 100.0 ];
+  check_int "min" 1234 (Hist.min_value h);
+  check_int "max" 1234 (Hist.max_value h)
+
+let test_hist_percentiles () =
+  let h = Hist.create () in
+  for v = 1 to 1000 do
+    Hist.add h v
+  done;
+  check_int "count" 1000 (Hist.count h);
+  (* 12.5% relative quantisation error bound. *)
+  let near p expect =
+    let got = Hist.percentile h p in
+    let err = abs (got - expect) in
+    if float_of_int err > 0.125 *. float_of_int expect then
+      Alcotest.failf "p%g: got %d, want ~%d" p got expect
+  in
+  near 50.0 500;
+  near 90.0 900;
+  near 99.0 990;
+  check_int "p100 exact" 1000 (Hist.percentile h 100.0);
+  check_int "min exact" 1 (Hist.min_value h)
+
+let test_hist_negative_clamps () =
+  let h = Hist.create () in
+  Hist.add h (-5);
+  check_int "clamped to 0" 0 (Hist.percentile h 50.0);
+  check_int "count" 1 (Hist.count h)
+
+let test_hist_merge () =
+  let a = Hist.create () and b = Hist.create () in
+  for v = 1 to 100 do Hist.add a v done;
+  for v = 901 to 1000 do Hist.add b v done;
+  Hist.merge ~into:a b;
+  check_int "count" 200 (Hist.count a);
+  check_int "min" 1 (Hist.min_value a);
+  check_int "max" 1000 (Hist.max_value a)
+
+(* ------------------------------------------------------------------ *)
+(* Ring buffer semantics. *)
+
+let test_ring_wraparound () =
+  (* Capacity 8, 20 events on one core: the 12 oldest are dropped and the
+     survivors keep emission order. *)
+  let obs = Obs.create ~ring_capacity:8 ~num_cores:1 () in
+  for i = 0 to 19 do
+    Obs.emit obs ~core:0 ~time:(100 + i) (Obs.L1_miss { line = i })
+  done;
+  check_int "dropped" 12 (Obs.dropped obs);
+  let evs = Obs.events obs in
+  check_int "retained" 8 (List.length evs);
+  List.iteri
+    (fun i (e : Obs.event) ->
+      check_int "seq order" (12 + i) e.Obs.seq;
+      check_int "time order" (112 + i) e.Obs.time)
+    evs
+
+let test_ring_merge_across_cores () =
+  (* Events interleaved across cores come back globally seq-sorted. *)
+  let obs = Obs.create ~num_cores:3 () in
+  for i = 0 to 29 do
+    Obs.emit obs ~core:(i mod 3) ~time:i (Obs.Fiber_resume)
+  done;
+  let evs = Obs.events obs in
+  check_int "all retained" 30 (List.length evs);
+  List.iteri (fun i (e : Obs.event) -> check_int "global order" i e.Obs.seq) evs
+
+let test_null_sink () =
+  check_bool "null disabled" false (Obs.enabled Obs.null);
+  (* emit on null is a no-op, not an error. *)
+  Obs.emit Obs.null ~core:0 ~time:0 Obs.Fiber_resume;
+  check_int "no events" 0 (List.length (Obs.events Obs.null))
+
+let test_hot_lines () =
+  let obs = Obs.create ~num_cores:2 () in
+  Obs.label_lines obs ~line_lo:7 ~line_hi:7 "victim-node";
+  for _ = 1 to 5 do
+    Obs.emit obs ~core:0 ~time:0 (Obs.Inval_sent { line = 7; victim = 1 })
+  done;
+  Obs.emit obs ~core:0 ~time:0 (Obs.Inval_sent { line = 3; victim = 1 });
+  match Obs.hot_lines ~top:2 obs with
+  | { Obs.hl_line = 7; hl_invals = 5; hl_label = Some "victim-node"; _ } :: rest
+    ->
+      check_int "second line" 3
+        (match rest with [ h ] -> h.Obs.hl_line | _ -> -1)
+  | _ -> Alcotest.fail "hot line ranking wrong"
+
+(* ------------------------------------------------------------------ *)
+(* JSON round-trips and trace export well-formedness. *)
+
+let test_json_roundtrip () =
+  let j =
+    Json.Obj
+      [
+        ("a", Json.Int 1);
+        ("b", Json.List [ Json.Null; Json.Bool true; Json.Float 1.5 ]);
+        ("c", Json.String "x\"y\n\\z");
+      ]
+  in
+  let s = Json.to_string j in
+  check_bool "parses back equal" true (Json.of_string s = j);
+  check_string "stable bytes" s (Json.to_string (Json.of_string s))
+
+let test_json_rejects_garbage () =
+  List.iter
+    (fun s ->
+      match Json.of_string s with
+      | exception Json.Parse_error _ -> ()
+      | _ -> Alcotest.failf "accepted %S" s)
+    [ ""; "{"; "[1,]"; "{\"a\":1} x"; "nul"; "\"unterminated" ]
+
+let traced_run seed =
+  let obs = Obs.create ~num_cores:4 () in
+  let spec =
+    Spec.make ~key_range:64 ~insert_pct:35 ~delete_pct:35 ~threads:4
+      ~warmup_cycles:2_000 ~measure_cycles:10_000 ~seed ()
+  in
+  let r = Driver.run_set ~obs (module Mt_list.Hoh_list) spec in
+  (r, Trace.to_string ~num_cores:4 obs)
+
+let test_trace_well_formed () =
+  let _, s = traced_run 7 in
+  let j = Json.of_string s in
+  match Json.member "traceEvents" j with
+  | Some (Json.List evs) ->
+      check_bool "nonempty" true (List.length evs > 0);
+      List.iter
+        (fun ev ->
+          check_bool "has ph" true (Json.member "ph" ev <> None);
+          check_bool "has pid" true (Json.member "pid" ev <> None);
+          (match Json.member "ph" ev with
+          | Some (Json.String "M") -> ()
+          | _ -> check_bool "has ts" true (Json.member "ts" ev <> None)))
+        evs
+  | _ -> Alcotest.fail "no traceEvents array"
+
+let test_trace_deterministic () =
+  let r1, s1 = traced_run 42 in
+  let r2, s2 = traced_run 42 in
+  check_string "byte-identical traces" s1 s2;
+  check_int "same ops" r1.Driver.ops r2.Driver.ops
+
+let test_tracing_does_not_perturb () =
+  (* The whole zero-overhead-off story: a traced run and an untraced run
+     of the same seed report identical simulated metrics. *)
+  let spec =
+    Spec.make ~key_range:64 ~insert_pct:35 ~delete_pct:35 ~threads:4
+      ~warmup_cycles:2_000 ~measure_cycles:10_000 ~seed:42 ()
+  in
+  let traced =
+    Driver.run_set
+      ~obs:(Obs.create ~num_cores:4 ())
+      (module Mt_list.Hoh_list)
+      spec
+  in
+  let plain = Driver.run_set (module Mt_list.Hoh_list) spec in
+  check_int "ops" plain.Driver.ops traced.Driver.ops;
+  check_int "duration" plain.Driver.duration traced.Driver.duration;
+  check_bool "throughput" true
+    (plain.Driver.throughput = traced.Driver.throughput);
+  check_int "validate failures" plain.Driver.validate_failures
+    traced.Driver.validate_failures
+
+let test_driver_json_schema () =
+  let r, _ = traced_run 3 in
+  let j = Json.of_string (Json.to_string (Driver.result_to_json r)) in
+  List.iter
+    (fun field -> check_bool field true (Json.member field j <> None))
+    [
+      "impl"; "workload"; "threads"; "seed"; "ops"; "duration_cycles";
+      "throughput_per_kcycle"; "l1_miss_rate"; "energy_per_op";
+      "latency_cycles"; "aborts"; "counters";
+    ];
+  match Json.member "latency_cycles" j with
+  | Some lat ->
+      check_bool "latency count positive" true
+        (match Json.member "count" lat with
+        | Some (Json.Int n) -> n > 0
+        | _ -> false)
+  | None -> Alcotest.fail "no latency_cycles"
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "hist",
+        [
+          Alcotest.test_case "small buckets exact" `Quick test_hist_buckets_exact_small;
+          Alcotest.test_case "buckets monotone, 12.5%" `Quick test_hist_buckets_monotone;
+          Alcotest.test_case "empty" `Quick test_hist_empty;
+          Alcotest.test_case "single sample" `Quick test_hist_single_sample;
+          Alcotest.test_case "percentiles 1..1000" `Quick test_hist_percentiles;
+          Alcotest.test_case "negative clamps" `Quick test_hist_negative_clamps;
+          Alcotest.test_case "merge" `Quick test_hist_merge;
+        ] );
+      ( "ring",
+        [
+          Alcotest.test_case "wraparound ordering" `Quick test_ring_wraparound;
+          Alcotest.test_case "merge across cores" `Quick test_ring_merge_across_cores;
+          Alcotest.test_case "null sink" `Quick test_null_sink;
+          Alcotest.test_case "hot lines" `Quick test_hot_lines;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "json roundtrip" `Quick test_json_roundtrip;
+          Alcotest.test_case "json rejects garbage" `Quick test_json_rejects_garbage;
+          Alcotest.test_case "trace well-formed" `Quick test_trace_well_formed;
+          Alcotest.test_case "trace deterministic" `Quick test_trace_deterministic;
+          Alcotest.test_case "tracing does not perturb" `Quick test_tracing_does_not_perturb;
+          Alcotest.test_case "driver json schema" `Quick test_driver_json_schema;
+        ] );
+    ]
