@@ -4,20 +4,37 @@
    micro-benchmarks of the primitive operations.
 
    Usage:  dune exec bench/main.exe [-- fig2 fig5 fig6 fig7 fig8 spurious
-                                        ablation micro summary quick]
+                                        ablation micro summary quick
+                                        --jobs N --json FILE --note k=v]
    With no arguments everything runs (the paper's full sweep). "quick"
-   restricts the thread sweep for a fast smoke run. *)
+   restricts the thread sweep for a fast smoke run. --jobs N fans the
+   independent simulation points out over N OCaml domains (0 = auto, 1 =
+   sequential); output and JSON are byte-identical for any value. --note
+   records a key=value pair under "notes" in the JSON export (e.g. host
+   wall-clock stamps that must not perturb the deterministic fields). *)
 
 open Mt_sim
 module Spec = Mt_workload.Spec
 module Driver = Mt_workload.Driver
 module Report = Mt_workload.Report
+module Pool = Mt_par.Pool
 
 (* ------------------------------------------------------------------ *)
 (* Configuration. *)
 
 let quick = ref false
 let threads_sweep () = if !quick then [ 1; 4; 16; 64 ] else [ 1; 2; 4; 8; 16; 32; 64 ]
+
+(* Domain-parallelism over independent simulation points (--jobs N;
+   0 = auto). Each point builds its own machine/runtime/PRNGs and results
+   merge in input order, so output is byte-identical whatever the value. *)
+let jobs = ref 0
+let pjobs () = if !jobs > 0 then !jobs else Pool.default_jobs ()
+
+(* Free-form --note k=v pairs recorded into the JSON export (used to stamp
+   committed artifacts with wall-clock measurements without making the
+   deterministic part of the document depend on the host). *)
+let notes : (string * string) list ref = ref []
 
 let list_range = 256
 let tree_range = 8192
@@ -42,22 +59,41 @@ let tree_impls : (module Mt_list.Set_intf.SET) list =
 
 type series = { impl : string; points : (int * Driver.result) list }
 
+let impl_name (module S : Mt_list.Set_intf.SET) = S.name
+
+(* The whole impl × threads grid is a list of independent points; fan it
+   out across domains and stitch the results back per implementation.
+   Progress lines print after the parallel phase, in input order, so
+   stdout is deterministic for any --jobs value. *)
 let run_series impls ~range ~insert_pct ~delete_pct ~measure_cycles =
+  let points =
+    List.concat_map
+      (fun m -> List.map (fun threads -> (m, threads)) (threads_sweep ()))
+      impls
+  in
+  let results =
+    Pool.map ~jobs:(pjobs ())
+      (fun (m, threads) ->
+        let spec =
+          Spec.make ~key_range:range ~insert_pct ~delete_pct ~threads
+            ~measure_cycles ()
+        in
+        Driver.run_set m spec)
+      points
+  in
+  let tagged = List.map2 (fun (m, t) r -> (impl_name m, t, r)) points results in
   List.map
-    (fun (module S : Mt_list.Set_intf.SET) ->
+    (fun m ->
+      let name = impl_name m in
       let points =
-        List.map
-          (fun threads ->
-            let spec =
-              Spec.make ~key_range:range ~insert_pct ~delete_pct ~threads
-                ~measure_cycles ()
-            in
-            let r = Driver.run_set (module S) spec in
-            Printf.printf "  [%s t=%d] %d ops\n%!" S.name threads r.Driver.ops;
-            (threads, r))
-          (threads_sweep ())
+        List.filter_map
+          (fun (n, t, r) -> if n = name then Some (t, r) else None)
+          tagged
       in
-      { impl = S.name; points })
+      List.iter
+        (fun (t, r) -> Printf.printf "  [%s t=%d] %d ops\n%!" name t r.Driver.ops)
+        points;
+      { impl = name; points })
     impls
 
 let print_throughput_table ~title series =
@@ -175,9 +211,9 @@ let vacation_point (module S : Mt_stm.Stm_intf.S) threads relations =
       spec
   in
   let stm = Option.get !stm_box in
-  Printf.printf "  [%s t=%d] %d txs, %d aborts, %d vbv passes\n%!" S.name threads
-    r.Driver.ops (S.aborts stm) (S.vbv_passes stm);
-  r
+  (r, S.aborts stm, S.vbv_passes stm)
+
+let stm_name (module S : Mt_stm.Stm_intf.S) = S.name
 
 let fig8 () =
   print_endline "\n=== Figure 8: STAMP vacation on NOrec (-n4 -q60 -u90 -r16384) ===";
@@ -185,13 +221,36 @@ let fig8 () =
   let impls : (module Mt_stm.Stm_intf.S) list =
     [ (module Mt_stm.Norec); (module Mt_stm.Norec_tagged) ]
   in
+  let points =
+    List.concat_map
+      (fun m -> List.map (fun t -> (m, t)) (threads_sweep ()))
+      impls
+  in
+  let results =
+    Pool.map ~jobs:(pjobs ())
+      (fun (m, t) -> vacation_point m t relations)
+      points
+  in
+  let tagged =
+    List.map2
+      (fun (m, t) (r, aborts, vbv) -> (stm_name m, t, r, aborts, vbv))
+      points results
+  in
+  List.iter
+    (fun (name, t, (r : Driver.result), aborts, vbv) ->
+      Printf.printf "  [%s t=%d] %d txs, %d aborts, %d vbv passes\n%!" name t
+        r.Driver.ops aborts vbv)
+    tagged;
   let series =
     List.map
-      (fun (module S : Mt_stm.Stm_intf.S) ->
+      (fun m ->
+        let name = stm_name m in
         {
-          impl = S.name;
+          impl = name;
           points =
-            List.map (fun t -> (t, vacation_point (module S) t relations)) (threads_sweep ());
+            List.filter_map
+              (fun (n, t, r, _, _) -> if n = name then Some (t, r) else None)
+              tagged;
         })
       impls
   in
@@ -203,37 +262,49 @@ let fig8 () =
 
 let spurious () =
   print_endline "\n=== Section 6: spurious validation failures ===";
-  let rows = ref [] in
-  let add name (r : Driver.result) =
-    let frac =
-      if r.validates = 0 then 0.0
-      else float_of_int r.validate_failures_spurious /. float_of_int r.validates
-    in
-    spurious_rows := !spurious_rows @ [ (name, r) ];
-    rows :=
-      [
-        name;
-        string_of_int r.validates;
-        string_of_int r.validate_failures;
-        string_of_int r.validate_failures_spurious;
-        Report.pct frac;
-      ]
-      :: !rows
-  in
   let spec range =
     Spec.make ~key_range:range ~insert_pct:35 ~delete_pct:35 ~threads:16
       ~measure_cycles:150_000 ()
   in
-  add "hoh-list r512" (Driver.run_set (module Mt_list.Hoh_list) (spec list_range));
-  add "hoh-abtree r8192" (Driver.run_set (module Abtree_hoh) (spec tree_range));
-  (* A deliberately oversized structure shows capacity evictions rising. *)
-  add "hoh-abtree r65536"
-    (Driver.run_set (module Abtree_hoh)
-       (Spec.make ~key_range:65536 ~insert_pct:35 ~delete_pct:35 ~threads:16
-          ~measure_cycles:150_000 ()));
+  (* Three independent points; run them domain-parallel, report in order. *)
+  let jobs_list : (string * (unit -> Driver.result)) list =
+    [
+      ("hoh-list r512",
+       fun () -> Driver.run_set (module Mt_list.Hoh_list) (spec list_range));
+      ("hoh-abtree r8192",
+       fun () -> Driver.run_set (module Abtree_hoh) (spec tree_range));
+      (* A deliberately oversized structure shows capacity evictions rising. *)
+      ("hoh-abtree r65536",
+       fun () ->
+         Driver.run_set (module Abtree_hoh)
+           (Spec.make ~key_range:65536 ~insert_pct:35 ~delete_pct:35 ~threads:16
+              ~measure_cycles:150_000 ()));
+    ]
+  in
+  let results =
+    Pool.map ~jobs:(pjobs ()) (fun (name, f) -> (name, f ())) jobs_list
+  in
+  let rows =
+    List.map
+      (fun (name, (r : Driver.result)) ->
+        let frac =
+          if r.validates = 0 then 0.0
+          else
+            float_of_int r.validate_failures_spurious /. float_of_int r.validates
+        in
+        spurious_rows := !spurious_rows @ [ (name, r) ];
+        [
+          name;
+          string_of_int r.validates;
+          string_of_int r.validate_failures;
+          string_of_int r.validate_failures_spurious;
+          Report.pct frac;
+        ])
+      results
+  in
   Report.table ~title:"Spurious (capacity/overflow) validation failures"
     ~columns:[ "workload"; "validates"; "failures"; "spurious"; "spurious/validate" ]
-    (List.rev !rows)
+    rows
 
 (* ------------------------------------------------------------------ *)
 (* Ablations (DESIGN.md): explicit tag-op costs, conservative IAS,
@@ -241,37 +312,44 @@ let spurious () =
 
 let ablation () =
   print_endline "\n=== Ablations ===";
+  (* Rows within a table are independent simulations; run each table's rows
+     through the pool and print once they are all back, in row order. *)
+  let rows thunks = Pool.map ~jobs:(pjobs ()) (fun f -> f ()) thunks in
   let base_spec =
     Spec.make ~key_range:list_range ~insert_pct:35 ~delete_pct:35 ~threads:16
       ~measure_cycles:150_000 ()
   in
-  let with_cfg name cfg =
+  let with_cfg name cfg () =
     let r = Driver.run_set ~cfg (module Mt_list.Hoh_list) base_spec in
     [ name; Report.f2 r.Driver.throughput; Report.pct r.Driver.l1_miss_rate ]
   in
   let cfg0 = Config.default ~num_cores:16 () in
   Report.table ~title:"Ablation: explicit tag-instruction costs (HoH list, t16)"
     ~columns:[ "config"; "thr/kcyc"; "L1 miss" ]
-    [
-      with_cfg "tag=0 validate=0 (default)" cfg0;
-      with_cfg "tag=1 validate=1" { cfg0 with Config.lat_tag_op = 1; lat_validate = 1 };
-      with_cfg "tag=2 validate=4" { cfg0 with Config.lat_tag_op = 2; lat_validate = 4 };
-    ];
+    (rows
+       [
+         with_cfg "tag=0 validate=0 (default)" cfg0;
+         with_cfg "tag=1 validate=1"
+           { cfg0 with Config.lat_tag_op = 1; lat_validate = 1 };
+         with_cfg "tag=2 validate=4"
+           { cfg0 with Config.lat_tag_op = 2; lat_validate = 4 };
+       ]);
   let tree_spec =
     Spec.make ~key_range:tree_range ~insert_pct:35 ~delete_pct:35 ~threads:16
       ~measure_cycles:150_000 ()
   in
-  let tree_cfg name cfg =
+  let tree_cfg name cfg () =
     let r = Driver.run_set ~cfg (module Abtree_hoh) tree_spec in
     [ name; Report.f2 r.Driver.throughput; Report.pct r.Driver.l1_miss_rate ]
   in
   Report.table ~title:"Ablation: IAS invalidation scope (HoH abtree, t16)"
     ~columns:[ "config"; "thr/kcyc"; "L1 miss" ]
-    [
-      tree_cfg "tag-targeted IAS (default)" cfg0;
-      tree_cfg "IAS elevates all sharers"
-        { cfg0 with Config.ias_tag_targeted = false };
-    ];
+    (rows
+       [
+         tree_cfg "tag-targeted IAS (default)" cfg0;
+         tree_cfg "IAS elevates all sharers"
+           { cfg0 with Config.ias_tag_targeted = false };
+       ]);
   let vac_row max_tags =
     let module S = Mt_stm.Norec_tagged in
     let module V = Mt_stamp.Vacation.Make (S) in
@@ -293,7 +371,7 @@ let ablation () =
   in
   Report.table ~title:"Ablation: Max_Tags for tagged NOrec (vacation r4096, t16)"
     ~columns:[ "Max_Tags"; "thr/kcyc" ]
-    (List.map vac_row [ 32; 64; 128; 256 ])
+    (Pool.map ~jobs:(pjobs ()) vac_row [ 32; 64; 128; 256 ])
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: host-level cost of the simulator's primitive
@@ -431,29 +509,59 @@ let export_json file =
           ])
       !headline_rows
   in
+  let note_fields =
+    match !notes with
+    | [] -> []
+    | kvs ->
+        [
+          ("notes",
+           Json.Obj (List.map (fun (k, v) -> (k, Json.String v)) kvs));
+        ]
+  in
   let doc =
     Json.Obj
-      [
-        ("schema_version", Json.Int 1);
-        ("generator", Json.String "memory-tagging-sim bench/main.exe");
-        ("quick", Json.Bool !quick);
-        ("figures", Json.Obj figures);
-        ("spurious", Json.List spurious);
-        ("headline", Json.List headline);
-      ]
+      ([
+         ("schema_version", Json.Int 1);
+         ("generator", Json.String "memory-tagging-sim bench/main.exe");
+         ("quick", Json.Bool !quick);
+         ("figures", Json.Obj figures);
+         ("spurious", Json.List spurious);
+         ("headline", Json.List headline);
+       ]
+      @ note_fields)
   in
   Json.to_file file doc;
   Printf.printf "\nWrote benchmark JSON to %s\n" file
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
-  let rec split_json acc = function
-    | "--json" :: file :: rest -> (Some file, List.rev_append acc rest)
+  (* Peel the valued options off the figure-selection words. *)
+  let rec split_opts json acc = function
+    | "--json" :: file :: rest -> split_opts (Some file) acc rest
     | "--json" :: [] -> failwith "bench: --json requires a file argument"
-    | a :: rest -> split_json (a :: acc) rest
-    | [] -> (None, List.rev acc)
+    | "--jobs" :: n :: rest -> (
+        match int_of_string_opt n with
+        | Some n when n >= 0 ->
+            jobs := n;
+            split_opts json acc rest
+        | _ -> failwith "bench: --jobs requires a non-negative integer")
+    | "--jobs" :: [] -> failwith "bench: --jobs requires an integer argument"
+    | "--note" :: kv :: rest -> (
+        match String.index_opt kv '=' with
+        | Some i ->
+            notes :=
+              !notes
+              @ [
+                  ( String.sub kv 0 i,
+                    String.sub kv (i + 1) (String.length kv - i - 1) );
+                ];
+            split_opts json acc rest
+        | None -> failwith "bench: --note requires a key=value argument")
+    | "--note" :: [] -> failwith "bench: --note requires a key=value argument"
+    | a :: rest -> split_opts json (a :: acc) rest
+    | [] -> (json, List.rev acc)
   in
-  let json_file, args = split_json [] args in
+  let json_file, args = split_opts None [] args in
   if List.mem "quick" args then quick := true;
   let args = List.filter (fun a -> a <> "quick") args in
   let all = args = [] in

@@ -25,8 +25,17 @@ module Obs = Mt_obs.Obs
 module Trace = Mt_obs.Trace
 module Json = Mt_obs.Json
 
+(* "trace.json" -> "trace.hoh.json" when several impls each get a file. *)
+let trace_file_for ~multi file name =
+  if not multi then file
+  else
+    match Filename.chop_suffix_opt ~suffix:".json" file with
+    | Some stem -> Printf.sprintf "%s.%s.json" stem name
+    | None -> Printf.sprintf "%s.%s" file name
+
 let run impl_names threads key_range insert_pct delete_pct measure seed all verbose
-    json_file trace_file hot =
+    json_file trace_file hot jobs =
+  let jobs = if jobs > 0 then jobs else Mt_par.Pool.default_jobs () in
   let chosen =
     if all then impls
     else
@@ -43,31 +52,40 @@ let run impl_names threads key_range insert_pct delete_pct measure seed all verb
     Mt_workload.Spec.make ~key_range ~insert_pct ~delete_pct ~threads
       ~measure_cycles:measure ~seed ()
   in
-  (* One shared recording sink across the chosen impls: the trace gets one
-     run after another on the same timeline, which is what you want when
-     eyeballing a single data point. Off (Null) unless requested. *)
+  (* One recording sink per benchmark point: points are independent
+     simulations (possibly on different domains), so tracing stays
+     per-run. Off (Null) unless requested. *)
   let tracing = trace_file <> None || hot > 0 in
-  let obs =
-    if tracing then Obs.create ~num_cores:threads () else Obs.null
-  in
   let results =
-    List.map
+    Mt_par.Pool.map ~jobs
       (fun (name, m) ->
+        let obs =
+          if tracing then Obs.create ~num_cores:threads () else Obs.null
+        in
         let r = Mt_workload.Driver.run_set ~obs m spec in
-        Format.printf "%a@." Mt_workload.Driver.pp_result r;
-        if verbose then
-          Format.printf "  %a@." Mt_sim.Stats.pp r.Mt_workload.Driver.stats;
-        (name, r))
+        (name, r, obs))
       chosen
   in
-  Option.iter
-    (fun file ->
-      Trace.write_file obs file;
-      Printf.printf "Wrote event trace (%d events, %d dropped) to %s\n"
-        (List.length (Obs.events obs))
-        (Obs.dropped obs) file)
-    trace_file;
-  if hot > 0 then Format.printf "%a@." (Trace.pp_hot_lines ~top:hot) obs;
+  let multi = List.length results > 1 in
+  List.iter
+    (fun (name, r, obs) ->
+      Format.printf "%a@." Mt_workload.Driver.pp_result r;
+      if verbose then
+        Format.printf "  %a@." Mt_sim.Stats.pp r.Mt_workload.Driver.stats;
+      Option.iter
+        (fun file ->
+          let file = trace_file_for ~multi file name in
+          Trace.write_file obs file;
+          Printf.printf "Wrote event trace (%d events, %d dropped) to %s\n"
+            (List.length (Obs.events obs))
+            (Obs.dropped obs) file)
+        trace_file;
+      if hot > 0 then begin
+        if multi then Format.printf "hot lines [%s]:@." name;
+        Format.printf "%a@." (Trace.pp_hot_lines ~top:hot) obs
+      end)
+    results;
+  let results = List.map (fun (name, r, _) -> (name, r)) results in
   Option.iter
     (fun file ->
       let doc =
@@ -111,7 +129,10 @@ let () =
     Arg.(value & opt (some string) None
          & info [ "trace" ] ~docv:"FILE"
              ~doc:"Record all simulator events and write a Chrome/Perfetto \
-                   trace-event JSON file to $(docv).")
+                   trace-event JSON file to $(docv). Each implementation is \
+                   traced into its own sink; with several implementations \
+                   the files are suffixed with the implementation name \
+                   (trace.json -> trace.hoh.json).")
   in
   let hot =
     Arg.(value & opt int 0
@@ -119,10 +140,19 @@ let () =
              ~doc:"Record events and print the $(docv) most contended cache \
                    lines (invalidation/downgrade counts with owning structure).")
   in
+  let jobs =
+    Arg.(value & opt int 0
+         & info [ "j"; "jobs" ]
+             ~doc:"Run the chosen implementations on $(docv) OCaml domains \
+                   (each point is an independent simulation; results and \
+                   JSON are byte-identical to a sequential run). 0 (the \
+                   default) uses Domain.recommended_domain_count; 1 \
+                   disables parallelism.")
+  in
   let cmd =
     Cmd.v
       (Cmd.info "memtag_bench" ~doc:"Run one MemTags set benchmark data point")
       Term.(const run $ impl $ threads $ range $ ins $ del $ measure $ seed $ all
-            $ verbose $ json_file $ trace_file $ hot)
+            $ verbose $ json_file $ trace_file $ hot $ jobs)
   in
   exit (Cmd.eval cmd)

@@ -84,7 +84,9 @@ let report_failure name threads (o : Mt_check.Explore.outcome) params =
   if not identical then
     Format.printf "WARNING: determinism broken — fix the scheduler first@."
 
-let run structures all seeds threads_list ops range prefill max_delay verbose =
+let run structures all seeds threads_list ops range prefill max_delay jobs
+    verbose =
+  let jobs = if jobs > 0 then jobs else Mt_par.Pool.default_jobs () in
   let chosen =
     if all then List.filter (fun (n, _) -> n <> "buggy_list") impls
     else List.map (fun n -> (n, resolve n)) structures
@@ -103,7 +105,7 @@ let run structures all seeds threads_list ops range prefill max_delay verbose =
               max_delay;
             }
           in
-          let clean, failure = Mt_check.Explore.sweep m ~params ~seeds in
+          let clean, failure = Mt_check.Explore.sweep ~jobs m ~params ~seeds in
           (match failure with
           | None ->
               Format.printf
@@ -151,6 +153,16 @@ let () =
       & info [ "max-delay" ]
           ~doc:"Scheduler yield-injection bound in cycles (0 disables).")
   in
+  let jobs =
+    Arg.(
+      value & opt int 0
+      & info [ "j"; "jobs" ]
+          ~doc:
+            "Scan the seed space with $(docv) OCaml domains (each seed is an \
+             independent simulation; the reported first failing seed is \
+             identical to a sequential sweep). 0 (the default) uses \
+             Domain.recommended_domain_count; 1 disables parallelism.")
+  in
   let verbose = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Chatty output.") in
   let cmd =
     Cmd.v
@@ -159,6 +171,6 @@ let () =
            "Explore many deterministic schedules of a concurrent-set workload and linearizability-check each recorded history")
       Term.(
         const run $ structure $ all $ seeds $ threads $ ops $ range $ prefill
-        $ max_delay $ verbose)
+        $ max_delay $ jobs $ verbose)
   in
   exit (Cmd.eval cmd)

@@ -29,7 +29,7 @@ let () =
   let t0 = ref true and t1 = ref true in
   let rt = Runtime.create () in
   Runtime.spawn rt (fun () ->
-      let ctx = Ctx.make machine ~core:0 ~prng:(Prng.create ~seed:1) in
+      let ctx = Ctx.make machine ~rt ~core:0 ~prng:(Prng.create ~seed:1) in
       Ctx.add_tag ctx cell ~words:1;
       Runtime.stall 1000;
       (* core 1 wrote meanwhile *)
@@ -37,7 +37,7 @@ let () =
       t1 := Ctx.vas ctx cell 99;
       Ctx.clear_tag_set ctx);
   Runtime.spawn rt (fun () ->
-      let ctx = Ctx.make machine ~core:1 ~prng:(Prng.create ~seed:2) in
+      let ctx = Ctx.make machine ~rt ~core:1 ~prng:(Prng.create ~seed:2) in
       Runtime.stall 500;
       Ctx.write ctx cell 42);
   Runtime.run rt;

@@ -57,11 +57,37 @@ let run ?(obs = Mt_obs.Obs.null) (module S : Mt_list.Set_intf.SET) ~params
   let verdict = Linearize.check_set ~init ~final history in
   { seed; history; init; final; duration; verdict }
 
-let sweep (module S : Mt_list.Set_intf.SET) ~params ~seeds =
+(* Scan [lo, hi) in ascending order, stopping at the first violation. *)
+let sweep_range (module S : Mt_list.Set_intf.SET) ~params ~lo ~hi =
   let rec go seed =
-    if seed >= seeds then (seeds, None)
+    if seed >= hi then None
     else
       let o = run (module S) ~params ~seed in
-      match o.verdict with Ok () -> go (seed + 1) | Error _ -> (seed, Some o)
+      match o.verdict with Ok () -> go (seed + 1) | Error _ -> Some o
   in
-  go 0
+  go lo
+
+let sweep ?(jobs = 1) (module S : Mt_list.Set_intf.SET) ~params ~seeds =
+  let first_failure =
+    if jobs <= 1 || seeds <= 1 then
+      sweep_range (module S) ~params ~lo:0 ~hi:seeds
+    else begin
+      (* Partition the seed space into contiguous ascending chunks, each
+         scanned in order with early exit. The first chunk (in order)
+         that reports a failure holds the globally smallest failing seed,
+         so the verdict is identical to the sequential sweep — only
+         wall-clock changes. Chunks outnumber domains for load balance. *)
+      let chunks = min seeds (jobs * 4) in
+      let ranges =
+        List.init chunks (fun i ->
+            (i * seeds / chunks, (i + 1) * seeds / chunks))
+      in
+      Mt_par.Pool.map ~jobs
+        (fun (lo, hi) -> sweep_range (module S) ~params ~lo ~hi)
+        ranges
+      |> List.find_map Fun.id
+    end
+  in
+  match first_failure with
+  | None -> (seeds, None)
+  | Some o -> (o.seed, Some o)

@@ -40,10 +40,15 @@ val run :
   seed:int ->
   outcome
 
-(** [sweep (module S) ~params ~seeds] — run seeds [0..seeds-1], stopping
-    at the first violation. Returns the number of clean runs and the
-    failing outcome, if any. *)
+(** [sweep ?jobs (module S) ~params ~seeds] — run seeds [0..seeds-1],
+    stopping at the first violation. Returns the number of clean runs and
+    the failing outcome, if any. With [jobs > 1] (default 1) the seed
+    space is scanned by [jobs] OCaml domains over contiguous chunks; each
+    seed is an independent simulation, and the first failure reported is
+    still the globally smallest failing seed, so the result is identical
+    to the sequential sweep — only faster. *)
 val sweep :
+  ?jobs:int ->
   (module Mt_list.Set_intf.SET) ->
   params:params ->
   seeds:int ->

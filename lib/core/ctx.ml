@@ -2,21 +2,22 @@ open Mt_sim
 
 type addr = Memory.addr
 
-type t = { machine : Machine.t; core : int; prng : Prng.t }
+type t = { machine : Machine.t; rt : Runtime.t; core : int; prng : Prng.t }
 
 (* Fixed instruction cost of a heap allocation (bump allocator + header). *)
 let alloc_cycles = 8
 
-let make machine ~core ~prng =
+let make machine ~rt ~core ~prng =
   if core < 0 || core >= Machine.num_cores machine then
     invalid_arg "Ctx.make: core id out of range";
-  { machine; core; prng }
+  { machine; rt; core; prng }
 
 let machine t = t.machine
+let runtime t = t.rt
 let core t = t.core
 let prng t = t.prng
 let obs t = Machine.obs t.machine
-let now _t = Runtime.now ()
+let now t = Runtime.clock t.rt
 
 let charge t lat =
   if lat > 0 then begin

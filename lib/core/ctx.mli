@@ -13,10 +13,22 @@ type t
 
 type addr = Mt_sim.Memory.addr
 
-(** [make machine ~core ~prng] — normally done by {!Harness}. *)
-val make : Mt_sim.Machine.t -> core:int -> prng:Mt_sim.Prng.t -> t
+(** [make machine ~rt ~core ~prng] — normally done by {!Harness}, which
+    threads the fiber runtime [rt] driving this simulation through every
+    context (one runtime per machine per run; nothing is process-global,
+    so independent simulations can run on different domains). *)
+val make :
+  Mt_sim.Machine.t ->
+  rt:Mt_sim.Runtime.t ->
+  core:int ->
+  prng:Mt_sim.Prng.t ->
+  t
 
 val machine : t -> Mt_sim.Machine.t
+
+(** The fiber runtime this context's simulation runs on. *)
+val runtime : t -> Mt_sim.Runtime.t
+
 val core : t -> int
 val prng : t -> Mt_sim.Prng.t
 

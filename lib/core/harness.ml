@@ -7,10 +7,10 @@ let exec machine ?(seed = 0x5EED) ?(policy = Runtime.default_policy) ~threads f 
   let rt = Runtime.create () in
   for core = 0 to threads - 1 do
     let prng = Prng.split master in
-    Runtime.spawn rt (fun () -> f (Ctx.make machine ~core ~prng))
+    Runtime.spawn rt (fun () -> f (Ctx.make machine ~rt ~core ~prng))
   done;
   Runtime.run ~policy ~obs:(Machine.obs machine) rt;
-  Runtime.now ()
+  Runtime.clock rt
 
 let exec1 machine ?(seed = 0x5EED) f =
   let result = ref None in

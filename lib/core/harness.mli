@@ -20,7 +20,13 @@
     explore an alternative, fully reproducible interleaving of the same
     workload. Returns the simulated duration in cycles (the time the last
     fiber finished). Raises [Invalid_argument] if [threads] exceeds the
-    machine's cores or is not positive. *)
+    machine's cores or is not positive.
+
+    Thread safety: one [exec] per domain at a time, each on its own
+    machine. Independent machines may execute concurrently on different
+    OCaml domains (that is how {!Mt_par.Pool.map} parallelizes benchmark
+    and fuzz sweeps); sharing one machine between domains is not
+    supported. *)
 val exec :
   Mt_sim.Machine.t ->
   ?seed:int ->

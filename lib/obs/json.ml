@@ -31,7 +31,16 @@ let float_repr x =
   if not (Float.is_finite x) then
     "null" (* JSON has no NaN/inf; never produced by well-behaved callers *)
   else if Float.is_integer x && Float.abs x < 1e15 then Printf.sprintf "%.1f" x
-  else Printf.sprintf "%.9g" x
+  else
+    (* Shortest representation that parses back to the same double, so
+       emit → parse → emit is the identity (the byte-identical-artifact
+       guarantee). %.17g always round-trips; prefer fewer digits when
+       they suffice. *)
+    let s12 = Printf.sprintf "%.12g" x in
+    if float_of_string s12 = x then s12
+    else
+      let s15 = Printf.sprintf "%.15g" x in
+      if float_of_string s15 = x then s15 else Printf.sprintf "%.17g" x
 
 let rec to_buffer buf = function
   | Null -> Buffer.add_string buf "null"

@@ -11,9 +11,11 @@
     never allocates.
 
     {b Determinism}: callers stamp events with the simulated clock; [emit]
-    adds a global sequence number in emission order. The runtime is
-    single-OS-threaded, so for a fixed program and seed the recorded event
-    stream is always byte-identical. No wall time is ever read. *)
+    adds a per-sink sequence number in emission order. A sink belongs to
+    one simulation run on one domain (sinks are not thread-safe — when
+    sweeping points in parallel with {!Mt_par.Pool}, give each point its
+    own sink), so for a fixed program and seed the recorded event stream
+    is always byte-identical. No wall time is ever read. *)
 
 type kind =
   | L1_miss of { line : int }

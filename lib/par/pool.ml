@@ -1,0 +1,43 @@
+let default_jobs () = Domain.recommended_domain_count ()
+
+let map ~jobs f points =
+  if jobs <= 0 then invalid_arg "Pool.map: jobs must be positive";
+  let items = Array.of_list points in
+  let n = Array.length items in
+  if jobs = 1 || n <= 1 then List.map f points
+  else begin
+    let results = Array.make n None in
+    let next = Atomic.make 0 in
+    let error : (exn * Printexc.raw_backtrace) option Atomic.t =
+      Atomic.make None
+    in
+    (* Contiguous chunks off a shared cursor: cheap enough that points of
+       very different cost (1-thread vs 64-thread simulations) still
+       load-balance, coarse enough that the cursor is not contended. *)
+    let chunk = max 1 (n / (jobs * 4)) in
+    let worker () =
+      let running = ref true in
+      while !running do
+        let lo = Atomic.fetch_and_add next chunk in
+        if lo >= n || Option.is_some (Atomic.get error) then running := false
+        else
+          let hi = min n (lo + chunk) in
+          try
+            for i = lo to hi - 1 do
+              results.(i) <- Some (f items.(i))
+            done
+          with exn ->
+            let bt = Printexc.get_raw_backtrace () in
+            ignore (Atomic.compare_and_set error None (Some (exn, bt)));
+            running := false
+      done
+    in
+    let helpers = Array.init (min jobs n - 1) (fun _ -> Domain.spawn worker) in
+    worker ();
+    Array.iter Domain.join helpers;
+    (match Atomic.get error with
+    | Some (exn, bt) -> Printexc.raise_with_backtrace exn bt
+    | None -> ());
+    Array.to_list
+      (Array.map (function Some r -> r | None -> assert false) results)
+  end

@@ -1,0 +1,33 @@
+(** A small domain pool for embarrassingly parallel simulation sweeps.
+
+    The paper's evaluation is a grid of {e independent} simulation points
+    (implementation × thread count × seed); each point builds its own
+    machine, runtime, PRNGs and observability sink, so points may execute
+    concurrently on separate OCaml domains — the one-machine-per-domain
+    contract of [mt_sim] (see {!Mt_sim.Runtime}).
+
+    Determinism: [map] never reorders — [results.(i) = f points.(i)] —
+    and every point is itself a pure function of its parameters, so the
+    output of a parallel sweep is byte-identical to the sequential one.
+    Only wall-clock time changes. *)
+
+(** The default worker count: [Domain.recommended_domain_count ()]. *)
+val default_jobs : unit -> int
+
+(** [map ~jobs f points] applies [f] to every point, distributing work
+    over [jobs] domains (the calling domain participates; [jobs = 1]
+    runs plainly in the caller, spawning nothing). Work is handed out in
+    contiguous chunks from a shared atomic cursor, so uneven point costs
+    load-balance. Results are returned in input order.
+
+    If any [f] raises, the first exception (in completion order) is
+    re-raised in the caller after all workers have stopped; remaining
+    undispatched chunks are abandoned.
+
+    [f] must not share mutable simulation state across points (each point
+    must build its own machine/runtime); [f] may itself print, but output
+    from concurrent points interleaves — buffer per point and print after
+    [map] returns to keep output deterministic.
+
+    Raises [Invalid_argument] if [jobs <= 0]. *)
+val map : jobs:int -> ('a -> 'b) -> 'a list -> 'b list

@@ -1,6 +1,10 @@
 type 'a entry = { time : int; tie : int; value : 'a }
 
-type 'a t = { mutable data : 'a entry array; mutable size : int }
+(* Slots hold [entry option] so vacated positions can be reset to [None]:
+   a popped entry (and whatever its value closes over — in the scheduler,
+   a whole fiber continuation) must not stay reachable through the array,
+   and [grow]/initial fill never pin an arbitrary live entry as filler. *)
+type 'a t = { mutable data : 'a entry option array; mutable size : int }
 
 let create () = { data = [||]; size = 0 }
 
@@ -9,11 +13,14 @@ let length t = t.size
 
 let less a b = a.time < b.time || (a.time = b.time && a.tie < b.tie)
 
+let get t i =
+  match t.data.(i) with Some e -> e | None -> assert false
+
 let grow t =
   let cap = Array.length t.data in
   if t.size = cap then begin
     let ncap = max 16 (2 * cap) in
-    let data = Array.make ncap t.data.(0) in
+    let data = Array.make ncap None in
     Array.blit t.data 0 data 0 cap;
     t.data <- data
   end
@@ -21,7 +28,7 @@ let grow t =
 let rec sift_up t i =
   if i > 0 then begin
     let parent = (i - 1) / 2 in
-    if less t.data.(i) t.data.(parent) then begin
+    if less (get t i) (get t parent) then begin
       let tmp = t.data.(i) in
       t.data.(i) <- t.data.(parent);
       t.data.(parent) <- tmp;
@@ -32,8 +39,8 @@ let rec sift_up t i =
 let rec sift_down t i =
   let l = (2 * i) + 1 and r = (2 * i) + 2 in
   let smallest = ref i in
-  if l < t.size && less t.data.(l) t.data.(!smallest) then smallest := l;
-  if r < t.size && less t.data.(r) t.data.(!smallest) then smallest := r;
+  if l < t.size && less (get t l) (get t !smallest) then smallest := l;
+  if r < t.size && less (get t r) (get t !smallest) then smallest := r;
   if !smallest <> i then begin
     let tmp = t.data.(i) in
     t.data.(i) <- t.data.(!smallest);
@@ -42,19 +49,18 @@ let rec sift_down t i =
   end
 
 let add t ~time ~tie value =
-  let entry = { time; tie; value } in
-  if t.size = 0 && Array.length t.data = 0 then t.data <- Array.make 16 entry;
   grow t;
-  t.data.(t.size) <- entry;
+  t.data.(t.size) <- Some { time; tie; value };
   t.size <- t.size + 1;
   sift_up t (t.size - 1)
 
 let pop_min t =
   if t.size = 0 then invalid_arg "Pqueue.pop_min: empty";
-  let min = t.data.(0) in
+  let min = get t 0 in
   t.size <- t.size - 1;
   t.data.(0) <- t.data.(t.size);
+  t.data.(t.size) <- None;
   sift_down t 0;
   (min.time, min.tie, min.value)
 
-let min_time t = if t.size = 0 then None else Some t.data.(0).time
+let min_time t = if t.size = 0 then None else Some (get t 0).time

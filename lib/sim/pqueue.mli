@@ -13,7 +13,9 @@ val length : 'a t -> int
 val add : 'a t -> time:int -> tie:int -> 'a -> unit
 
 (** [pop_min t] removes and returns the minimum entry as
-    [(time, tie, value)]. Raises [Invalid_argument] if empty. *)
+    [(time, tie, value)]. Raises [Invalid_argument] if empty. The popped
+    value is no longer reachable from the queue (vacated slots are
+    cleared, so fiber closures are not pinned for the heap's lifetime). *)
 val pop_min : 'a t -> int * int * 'a
 
 (** [min_time t] is the earliest key without removing it. *)

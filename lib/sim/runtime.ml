@@ -3,6 +3,8 @@ open Effect.Deep
 
 type _ Effect.t += Stall : int -> unit Effect.t
 
+exception Aborted
+
 type policy = {
   policy_name : string;
   extra_delay : tid:int -> int;
@@ -33,39 +35,94 @@ let random_policy ?(max_delay = 64) ~seed () =
 
 let policy_name p = p.policy_name
 
+(* A ready-queue entry is either a fiber that has not started yet (a plain
+   thunk — there is no continuation to unwind) or one suspended mid-stall,
+   whose continuation must be [discontinue]d if the run is torn down. *)
+type task =
+  | Start of (unit -> unit)
+  | Suspended of (unit, unit) continuation
+
 type t = {
   mutable bodies : (unit -> unit) list;  (* reversed spawn order *)
   mutable n_fibers : int;
-  ready : (int * (unit -> unit)) Pqueue.t;  (* (fiber id, resume) *)
+  ready : (int * task) Pqueue.t;  (* (fiber id, work) *)
+  (* Scheduler state, scoped to this runtime so independent machines can
+     run concurrently on different domains. [current_fiber] is -1 outside
+     any fiber; [active] guards against the same value being run twice
+     concurrently (e.g. shared across domains by mistake). *)
+  mutable clock : int;
+  mutable current_fiber : int;
+  mutable active : bool;
 }
 
-(* Scheduler-global state. The runtime is single-threaded and non-reentrant,
-   so plain refs suffice; [current_*] identify the running fiber. *)
-let clock = ref 0
-let current_fiber = ref (-1)
-let active = ref false
+(* The runtime currently executing on *this* domain, plus the final clock
+   of the domain's last completed run (what [now ()] reports between runs).
+   Domain-local by construction: runs on other domains are invisible here,
+   which is precisely the one-machine-per-domain concurrency contract. *)
+let current_key : t option Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
+let last_clock_key : int Domain.DLS.key = Domain.DLS.new_key (fun () -> 0)
 
-let create () = { bodies = []; n_fibers = 0; ready = Pqueue.create () }
+let create () =
+  {
+    bodies = [];
+    n_fibers = 0;
+    ready = Pqueue.create ();
+    clock = 0;
+    current_fiber = -1;
+    active = false;
+  }
 
 let spawn t body =
   t.bodies <- body :: t.bodies;
   t.n_fibers <- t.n_fibers + 1
 
+let current () = Domain.DLS.get current_key
+
+let in_fiber () =
+  match current () with Some t -> t.current_fiber >= 0 | None -> false
+
 let stall n =
   if n < 0 then invalid_arg "Runtime.stall: negative latency";
-  if !current_fiber < 0 then invalid_arg "Runtime.stall: not inside a fiber";
+  if not (in_fiber ()) then invalid_arg "Runtime.stall: not inside a fiber";
   perform (Stall n)
 
-let now () = !clock
+let clock t = t.clock
+
+let now () =
+  match current () with
+  | Some t -> t.clock
+  | None -> Domain.DLS.get last_clock_key
 
 let fiber_id () =
-  if !current_fiber < 0 then invalid_arg "Runtime.fiber_id: not inside a fiber";
-  !current_fiber
+  match current () with
+  | Some t when t.current_fiber >= 0 -> t.current_fiber
+  | _ -> invalid_arg "Runtime.fiber_id: not inside a fiber"
+
+(* Tear-down after a fiber exception: every still-suspended fiber is
+   resumed with [Aborted] raised at its stall point, so closures release
+   their resources (Fun.protect finalizers run) and the continuations are
+   not abandoned. A fiber that traps [Aborted] and stalls again simply
+   re-enters the queue and is aborted again at its next suspension. *)
+let drain_aborted t =
+  while not (Pqueue.is_empty t.ready) do
+    let _, _, (tid, task) = Pqueue.pop_min t.ready in
+    match task with
+    | Start _ -> ()  (* never ran: nothing to unwind *)
+    | Suspended k -> (
+        t.current_fiber <- tid;
+        try discontinue k Aborted with _ -> ())
+  done
 
 let run ?(policy = default_policy) ?(obs = Mt_obs.Obs.null) t =
-  if !active then invalid_arg "Runtime.run: a run is already active";
-  active := true;
-  clock := 0;
+  (match current () with
+  | Some _ -> invalid_arg "Runtime.run: a run is already active on this domain"
+  | None -> ());
+  if t.active then
+    invalid_arg "Runtime.run: this runtime is already running on another domain";
+  t.active <- true;
+  t.clock <- 0;
+  t.current_fiber <- -1;
+  Domain.DLS.set current_key (Some t);
   let clocks = Array.make (max 1 t.n_fibers) 0 in
   let start tid body () =
     match_with body ()
@@ -80,34 +137,38 @@ let run ?(policy = default_policy) ?(obs = Mt_obs.Obs.null) t =
                   (fun (k : (a, unit) continuation) ->
                     let delay = n + policy.extra_delay ~tid in
                     if Mt_obs.Obs.enabled obs then
-                      Mt_obs.Obs.emit obs ~core:tid ~time:!clock
+                      Mt_obs.Obs.emit obs ~core:tid ~time:t.clock
                         (Mt_obs.Obs.Fiber_stall { cycles = delay });
                     clocks.(tid) <- clocks.(tid) + delay;
                     Pqueue.add t.ready ~time:clocks.(tid)
                       ~tie:(policy.tie_of ~tid)
-                      (tid, fun () -> continue k ()))
+                      (tid, Suspended k))
             | _ -> None);
       }
   in
   List.iteri
     (fun i body ->
       let tid = t.n_fibers - 1 - i in
-      Pqueue.add t.ready ~time:0 ~tie:(policy.tie_of ~tid) (tid, start tid body))
+      Pqueue.add t.ready ~time:0 ~tie:(policy.tie_of ~tid)
+        (tid, Start (start tid body)))
     t.bodies;
   let finish () =
-    active := false;
-    current_fiber := -1
+    t.active <- false;
+    t.current_fiber <- -1;
+    Domain.DLS.set last_clock_key t.clock;
+    Domain.DLS.set current_key None
   in
   (try
      while not (Pqueue.is_empty t.ready) do
-       let time, _tie, (tid, resume) = Pqueue.pop_min t.ready in
-       clock := time;
-       current_fiber := tid;
+       let time, _tie, (tid, task) = Pqueue.pop_min t.ready in
+       t.clock <- time;
+       t.current_fiber <- tid;
        if Mt_obs.Obs.enabled obs then
          Mt_obs.Obs.emit obs ~core:tid ~time Mt_obs.Obs.Fiber_resume;
-       resume ()
+       match task with Start f -> f () | Suspended k -> continue k ()
      done
    with exn ->
+     drain_aborted t;
      finish ();
      raise exn);
   finish ()

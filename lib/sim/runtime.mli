@@ -7,10 +7,20 @@
     interleaving at memory-access granularity — the granularity at which
     coherence races occur on real hardware and in Graphite.
 
-    The runtime is single-OS-threaded; at most one [run] may be active at a
-    time per process (enforced). *)
+    {b Concurrency contract}: all scheduler state lives in the {!t} value,
+    so independent runtimes (each driving its own machine) may run
+    concurrently on different OCaml domains — one active [run] per domain,
+    enforced. {!now} and {!fiber_id} resolve against the domain's active
+    run. Nothing may be shared between simulations running on different
+    domains: one machine, one runtime, one domain. *)
 
 type t
+
+(** Raised {e inside} still-suspended fibers when a run is torn down
+    because another fiber's exception escaped: each pending continuation
+    is resumed with [Aborted] at its stall point so cleanup handlers run
+    and nothing leaks. Fiber code normally lets it propagate. *)
+exception Aborted
 
 (** A scheduling policy decides how ready fibers are ordered. The default
     resumes the fiber with the smallest local clock, ties broken by fiber
@@ -42,19 +52,29 @@ val create : unit -> t
 val spawn : t -> (unit -> unit) -> unit
 
 (** [run ?policy ?obs t] executes all fibers to completion under [policy]
-    (default {!default_policy}). Exceptions escaping a fiber abort the
-    whole run and are re-raised. When [obs] is a recording sink, every
-    scheduling step emits fiber stall/resume events onto the stalling
-    fiber's core track (simulated timestamps only — tracing never perturbs
-    the schedule). *)
+    (default {!default_policy}). At most one run may be active per domain
+    at a time, and a given [t] can only run on one domain at a time (both
+    enforced). An exception escaping a fiber aborts the whole run: every
+    still-suspended fiber is discontinued with {!Aborted} (so its cleanup
+    handlers run and its continuation is not leaked), the ready queue is
+    left empty, and the original exception is re-raised — the runtime and
+    the domain remain usable for subsequent runs. When [obs] is a
+    recording sink, every scheduling step emits fiber stall/resume events
+    onto the stalling fiber's core track (simulated timestamps only —
+    tracing never perturbs the schedule). *)
 val run : ?policy:policy -> ?obs:Mt_obs.Obs.t -> t -> unit
 
 (** [stall n] suspends the calling fiber for [n >= 0] simulated cycles.
     Must be called from within a fiber. *)
 val stall : int -> unit
 
-(** [now ()] is the calling fiber's local clock. Outside any fiber it is
-    the final time of the last completed run. *)
+(** [clock t] is [t]'s simulated clock: the current time while [t] is
+    running, the final time of its last run otherwise. *)
+val clock : t -> int
+
+(** [now ()] is the calling fiber's local clock, resolved against the
+    domain's active run. Outside any run it is the final time of the last
+    run completed on this domain. *)
 val now : unit -> int
 
 (** [fiber_id ()] is the id (spawn index) of the calling fiber. Raises

@@ -159,6 +159,25 @@ let test_json_roundtrip () =
   check_bool "parses back equal" true (Json.of_string s = j);
   check_string "stable bytes" s (Json.to_string (Json.of_string s))
 
+(* Floats must round-trip exactly through the emitted text (shortest
+   representation that parses back to the same double), otherwise
+   re-emitting a parsed artifact would not be byte-identical. *)
+let prop_json_float_roundtrip =
+  QCheck.Test.make ~name:"json float emit/parse round-trip" ~count:1000
+    QCheck.float (fun x ->
+      QCheck.assume (Float.is_finite x);
+      match Json.of_string (Json.to_string (Json.Float x)) with
+      | Json.Float y -> Float.equal y x || (x = 0.0 && y = 0.0)
+      | _ -> false)
+
+let test_json_float_repr () =
+  let s x = Json.to_string (Json.Float x) in
+  check_string "short decimal stays short" "0.1" (s 0.1);
+  check_string "integral float keeps a point" "3.0" (s 3.0);
+  (* 0.1 +. 0.2 needs all 17 digits to round-trip. *)
+  check_string "17 digits when required" "0.30000000000000004" (s (0.1 +. 0.2));
+  check_string "non-finite maps to null" "null" (s Float.nan)
+
 let test_json_rejects_garbage () =
   List.iter
     (fun s ->
@@ -262,6 +281,8 @@ let () =
       ( "trace",
         [
           Alcotest.test_case "json roundtrip" `Quick test_json_roundtrip;
+          Alcotest.test_case "json float repr" `Quick test_json_float_repr;
+          QCheck_alcotest.to_alcotest prop_json_float_roundtrip;
           Alcotest.test_case "json rejects garbage" `Quick test_json_rejects_garbage;
           Alcotest.test_case "trace well-formed" `Quick test_trace_well_formed;
           Alcotest.test_case "trace deterministic" `Quick test_trace_deterministic;

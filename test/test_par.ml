@@ -1,0 +1,112 @@
+(* Tests for the domain pool (lib/par) and the cross-domain determinism
+   contract: simulation points fanned out with Pool.map come back in input
+   order with results byte-identical to a sequential run, exceptions
+   propagate, and two full simulations can run concurrently on two domains
+   without perturbing each other. *)
+
+module Pool = Mt_par.Pool
+module Spec = Mt_workload.Spec
+module Driver = Mt_workload.Driver
+module Json = Mt_obs.Json
+
+let check_bool = Alcotest.(check bool)
+let check_string = Alcotest.(check string)
+
+(* ------------------------------------------------------------------ *)
+(* Pool.map as a plain map. *)
+
+let test_map_identity_order () =
+  let xs = List.init 100 (fun i -> i) in
+  let expect = List.map (fun x -> x * x) xs in
+  List.iter
+    (fun jobs ->
+      Alcotest.(check (list int))
+        (Printf.sprintf "jobs=%d" jobs)
+        expect
+        (Pool.map ~jobs (fun x -> x * x) xs))
+    [ 1; 2; 3; 8 ]
+
+let test_map_empty_and_single () =
+  Alcotest.(check (list int)) "empty" [] (Pool.map ~jobs:4 (fun x -> x) []);
+  Alcotest.(check (list int)) "single" [ 9 ] (Pool.map ~jobs:4 (fun x -> x * x) [ 3 ])
+
+let test_map_invalid_jobs () =
+  Alcotest.check_raises "jobs=0"
+    (Invalid_argument "Pool.map: jobs must be positive") (fun () ->
+      ignore (Pool.map ~jobs:0 (fun x -> x) [ 1 ]))
+
+let test_map_exception_propagates () =
+  match
+    Pool.map ~jobs:2
+      (fun x -> if x = 5 then failwith "point failed" else x)
+      (List.init 10 (fun i -> i))
+  with
+  | exception Failure msg -> check_string "message preserved" "point failed" msg
+  | _ -> Alcotest.fail "expected the point's exception to propagate"
+
+let test_default_jobs_positive () =
+  check_bool "default_jobs > 0" true (Pool.default_jobs () > 0)
+
+(* ------------------------------------------------------------------ *)
+(* Determinism across domains. *)
+
+(* One full benchmark point rendered to its JSON bytes — the exact
+   artifact bench/main.exe and memtag_bench commit to disk. *)
+let point_bytes (threads, seed) =
+  let spec =
+    Spec.make ~key_range:64 ~insert_pct:35 ~delete_pct:35 ~threads
+      ~warmup_cycles:1_000 ~measure_cycles:8_000 ~seed ()
+  in
+  Json.to_string
+    (Driver.result_to_json (Driver.run_set (module Mt_list.Hoh_list) spec))
+
+let test_parallel_bytes_identical () =
+  let points = [ (1, 1); (2, 1); (4, 2); (4, 3) ] in
+  let seq = List.map point_bytes points in
+  let par = Pool.map ~jobs:2 point_bytes points in
+  List.iter2 (check_string "sequential vs jobs=2 bytes") seq par
+
+let test_two_domains_concurrent_runs () =
+  (* Two complete simulations at once, each with its own machine and
+     runtime: per-runtime scheduler state plus the domain-local current
+     pointer must keep them fully independent. *)
+  let run _i =
+    let m = Mt_sim.Machine.create (Mt_sim.Config.default ~num_cores:4 ()) in
+    let a = Mt_sim.Machine.alloc m ~words:1 in
+    let d =
+      Mt_core.Harness.exec m ~seed:5 ~threads:4 (fun ctx ->
+          for _ = 1 to 200 do
+            let v = Mt_core.Ctx.read ctx a in
+            ignore (Mt_core.Ctx.cas ctx a ~expected:v ~desired:(v + 1))
+          done)
+    in
+    (d, Mt_sim.Machine.peek m a)
+  in
+  match Pool.map ~jobs:2 run [ 0; 1 ] with
+  | [ r1; r2 ] ->
+      check_bool "identical across domains" true (r1 = r2);
+      check_bool "matches a sequential run" true (run 2 = r1)
+  | _ -> Alcotest.fail "wrong result arity"
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "mt_par"
+    [
+      ( "pool",
+        [
+          Alcotest.test_case "identity and order" `Quick test_map_identity_order;
+          Alcotest.test_case "empty and single" `Quick test_map_empty_and_single;
+          Alcotest.test_case "invalid jobs" `Quick test_map_invalid_jobs;
+          Alcotest.test_case "exception propagates" `Quick
+            test_map_exception_propagates;
+          Alcotest.test_case "default jobs" `Quick test_default_jobs_positive;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "parallel bytes identical" `Quick
+            test_parallel_bytes_identical;
+          Alcotest.test_case "two domains concurrent" `Quick
+            test_two_domains_concurrent_runs;
+        ] );
+    ]

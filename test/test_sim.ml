@@ -74,6 +74,47 @@ let prop_pqueue_sorted =
       in
       drain None)
 
+(* Interleaved adds and pops against a sorted reference model: every pop
+   must return the key-minimum of what is currently enqueued (the heap
+   property must survive arbitrary interleaving, not just bulk-load). *)
+let prop_pqueue_model =
+  QCheck.Test.make ~name:"pqueue matches model under add/pop interleaving"
+    ~count:300
+    QCheck.(list (option (pair small_nat small_nat)))
+    (fun ops ->
+      let q = Pqueue.create () in
+      let model = ref [] in
+      let id = ref 0 in
+      List.for_all
+        (function
+          | Some (t, tie) ->
+              Pqueue.add q ~time:t ~tie !id;
+              incr id;
+              model := List.merge compare !model [ (t, tie) ];
+              true
+          | None -> (
+              match !model with
+              | [] -> Pqueue.is_empty q
+              | (t, tie) :: rest ->
+                  let t', tie', _ = Pqueue.pop_min q in
+                  model := rest;
+                  (t', tie') = (t, tie)))
+        ops)
+
+(* The regression the option-array representation fixes: a popped value
+   must not stay reachable from the queue's backing store (fiber
+   continuations would otherwise be pinned until the queue is dropped). *)
+let test_pqueue_pop_releases_value () =
+  let q = Pqueue.create () in
+  let w = Weak.create 1 in
+  (let v = ref 12345 in
+   Weak.set w 0 (Some v);
+   Pqueue.add q ~time:1 ~tie:0 v);
+  ignore (Sys.opaque_identity (Pqueue.pop_min q));
+  Gc.full_major ();
+  check_bool "queue still live" true (Pqueue.is_empty q);
+  check_bool "popped value collected" true (Weak.get w 0 = None)
+
 (* ------------------------------------------------------------------ *)
 (* Memory *)
 
@@ -281,6 +322,70 @@ let test_runtime_exception_propagates () =
   let rt2 = Runtime.create () in
   Runtime.spawn rt2 (fun () -> Runtime.stall 1);
   Runtime.run rt2
+
+(* When one fiber raises, every other suspended fiber is discontinued with
+   [Runtime.Aborted], so its cleanup handlers (Fun.protect) run instead of
+   the continuation being leaked. *)
+let test_runtime_abort_runs_finalizers () =
+  let cleaned = ref false and resumed = ref false in
+  let rt = Runtime.create () in
+  Runtime.spawn rt (fun () ->
+      Fun.protect
+        ~finally:(fun () -> cleaned := true)
+        (fun () ->
+          Runtime.stall 100;
+          resumed := true));
+  Runtime.spawn rt (fun () ->
+      Runtime.stall 1;
+      failwith "boom");
+  Alcotest.check_raises "original exception wins" (Failure "boom") (fun () ->
+      Runtime.run rt);
+  check_bool "finalizer ran via Aborted" true !cleaned;
+  check_bool "aborted fiber did not resume normally" false !resumed;
+  (* The domain is immediately usable for a fresh run. *)
+  let hit = ref false in
+  let rt2 = Runtime.create () in
+  Runtime.spawn rt2 (fun () ->
+      Runtime.stall 1;
+      hit := true);
+  Runtime.run rt2;
+  check_bool "fresh run after teardown" true !hit
+
+(* A fiber that traps Aborted and suspends again is simply aborted again at
+   its next stall; teardown still terminates. *)
+let test_runtime_abort_trapped_fiber_drains () =
+  let aborts = ref 0 in
+  let rt = Runtime.create () in
+  Runtime.spawn rt (fun () ->
+      try Runtime.stall 10
+      with Runtime.Aborted -> (
+        incr aborts;
+        try Runtime.stall 10 with Runtime.Aborted -> incr aborts));
+  Runtime.spawn rt (fun () ->
+      Runtime.stall 1;
+      failwith "boom");
+  Alcotest.check_raises "propagates" (Failure "boom") (fun () -> Runtime.run rt);
+  check_int "aborted once per suspension" 2 !aborts
+
+let test_runtime_stall_outside_fiber () =
+  Alcotest.check_raises "stall outside any run"
+    (Invalid_argument "Runtime.stall: not inside a fiber") (fun () ->
+      Runtime.stall 5)
+
+let test_runtime_nested_run_rejected () =
+  let rt = Runtime.create () in
+  Runtime.spawn rt (fun () ->
+      let inner = Runtime.create () in
+      Alcotest.check_raises "nested run"
+        (Invalid_argument "Runtime.run: a run is already active on this domain")
+        (fun () -> Runtime.run inner));
+  Runtime.run rt
+
+let test_runtime_clock_accessor () =
+  let rt = Runtime.create () in
+  Runtime.spawn rt (fun () -> Runtime.stall 7);
+  Runtime.run rt;
+  check_int "per-runtime clock" 7 (Runtime.clock rt)
 
 (* ------------------------------------------------------------------ *)
 (* Machine: MESI transitions, latency, tags. *)
@@ -746,8 +851,12 @@ let () =
         ]
         @ qsuite [ prop_prng_float_range ] );
       ( "pqueue",
-        [ Alcotest.test_case "order" `Quick test_pqueue_order ]
-        @ qsuite [ prop_pqueue_sorted ] );
+        [
+          Alcotest.test_case "order" `Quick test_pqueue_order;
+          Alcotest.test_case "pop releases value" `Quick
+            test_pqueue_pop_releases_value;
+        ]
+        @ qsuite [ prop_pqueue_sorted; prop_pqueue_model ] );
       ( "memory",
         [
           Alcotest.test_case "alloc aligned" `Quick test_memory_alloc_aligned;
@@ -785,6 +894,15 @@ let () =
           Alcotest.test_case "tie break" `Quick test_runtime_tie_break_by_tid;
           Alcotest.test_case "final now" `Quick test_runtime_now_final;
           Alcotest.test_case "exceptions" `Quick test_runtime_exception_propagates;
+          Alcotest.test_case "abort runs finalizers" `Quick
+            test_runtime_abort_runs_finalizers;
+          Alcotest.test_case "abort drains trapped fibers" `Quick
+            test_runtime_abort_trapped_fiber_drains;
+          Alcotest.test_case "stall outside fiber" `Quick
+            test_runtime_stall_outside_fiber;
+          Alcotest.test_case "nested run rejected" `Quick
+            test_runtime_nested_run_rejected;
+          Alcotest.test_case "clock accessor" `Quick test_runtime_clock_accessor;
         ] );
       ( "machine",
         [
