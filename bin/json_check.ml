@@ -5,7 +5,13 @@
    Usage:  json_check [--bench|--trace] FILE...
 
    --bench  additionally requires a top-level object with an integer
-            "schema_version" field.
+            "schema_version" field. For schema_version >= 2, every
+            benchmark point (any object carrying both "impl" and "ops")
+            must also carry a fully self-describing "spec" object
+            (key_range, init_fill, insert_pct, delete_pct, threads,
+            warmup_cycles, measure_cycles, seed), and every service point
+            (any object carrying both "backend" and "goodput_per_kcycle")
+            a "serve" configuration object.
    --trace  additionally requires a "traceEvents" array where every
             element has "ph", "ts" and "pid" fields (the Chrome
             trace-event contract Perfetto relies on). *)
@@ -21,9 +27,55 @@ let read_file path =
   close_in ic;
   s
 
+(* Every field a point's "spec" object must carry to be replayable. *)
+let spec_fields =
+  [
+    "key_range"; "init_fill"; "insert_pct"; "delete_pct"; "threads";
+    "warmup_cycles"; "measure_cycles"; "seed";
+  ]
+
+let serve_fields =
+  [
+    "workers"; "batch"; "queue_capacity"; "queues"; "admission"; "arrival";
+    "offered_per_kcycle"; "horizon_cycles"; "seed";
+  ]
+
+(* Walk the whole document: any object that looks like a benchmark point
+   (has both "impl" and "ops") must be self-describing, likewise any
+   service point (has both "backend" and "goodput_per_kcycle"). *)
+let rec check_points path j =
+  match j with
+  | Json.Obj fields ->
+      if Json.member "impl" j <> None && Json.member "ops" j <> None then begin
+        match Json.member "spec" j with
+        | Some (Json.Obj _ as spec) ->
+            List.iter
+              (fun f ->
+                if Json.member f spec = None then
+                  fail "%s: benchmark point spec lacks %S" path f)
+              spec_fields
+        | _ -> fail "%s: benchmark point lacks a \"spec\" object" path
+      end;
+      if
+        Json.member "backend" j <> None
+        && Json.member "goodput_per_kcycle" j <> None
+      then begin
+        match Json.member "serve" j with
+        | Some (Json.Obj _ as serve) ->
+            List.iter
+              (fun f ->
+                if Json.member f serve = None then
+                  fail "%s: service point serve config lacks %S" path f)
+              serve_fields
+        | _ -> fail "%s: service point lacks a \"serve\" object" path
+      end;
+      List.iter (fun (_, v) -> check_points path v) fields
+  | Json.List l -> List.iter (check_points path) l
+  | _ -> ()
+
 let check_bench path j =
   match Json.member "schema_version" j with
-  | Some (Json.Int _) -> ()
+  | Some (Json.Int v) -> if v >= 2 then check_points path j
   | _ -> fail "%s: missing integer schema_version" path
 
 let check_trace path j =

@@ -24,6 +24,8 @@ let impls : (string * (module Mt_list.Set_intf.SET)) list =
 module Obs = Mt_obs.Obs
 module Trace = Mt_obs.Trace
 module Json = Mt_obs.Json
+module Serve = Mt_serve.Server
+module Arrival = Mt_serve.Arrival
 
 (* "trace.json" -> "trace.hoh.json" when several impls each get a file. *)
 let trace_file_for ~multi file name =
@@ -33,8 +35,91 @@ let trace_file_for ~multi file name =
     | Some stem -> Printf.sprintf "%s.%s.json" stem name
     | None -> Printf.sprintf "%s.%s" file name
 
+(* Open-loop service mode (--rate): impls x offered rates, each point an
+   independent Serve.run_set simulation. Shares --range/--insert/--delete/
+   --seed with the closed-loop mode; --cycles becomes the arrival horizon. *)
+let serve chosen rates ~key_range ~insert_pct ~delete_pct ~horizon ~seed
+    ~workers ~batch ~qcap ~queue_kind ~arrival ~retries ~jobs ~json_file
+    ~trace_file ~hot =
+  let queues =
+    match queue_kind with
+    | "shared" -> Serve.Shared
+    | "percore" -> Serve.Per_worker { steal = false }
+    | "steal" -> Serve.Per_worker { steal = true }
+    | s ->
+        Printf.eprintf "unknown queue discipline %S (shared|percore|steal)\n" s;
+        exit 2
+  in
+  let process =
+    match Arrival.process_of_string arrival with
+    | Some p -> p
+    | None ->
+        Printf.eprintf "unknown arrival process %S (fixed|poisson|bursty)\n"
+          arrival;
+        exit 2
+  in
+  let admission =
+    if retries <= 0 then Serve.Drop
+    else Serve.Retry { max_retries = retries; backoff_base = 64; backoff_cap = 4096 }
+  in
+  let tracing = trace_file <> None || hot > 0 in
+  let points =
+    List.concat_map (fun rate -> List.map (fun im -> (im, rate)) chosen) rates
+  in
+  let results =
+    Mt_par.Pool.map ~jobs
+      (fun ((name, m), rate) ->
+        let obs =
+          if tracing then Obs.create ~num_cores:(workers + 1) () else Obs.null
+        in
+        let config =
+          Serve.config ~batch ~queue_capacity:qcap ~queues ~admission ~process
+            ~horizon ~seed ~workers ~rate_per_kcycle:rate ()
+        in
+        let r = Serve.run_set ~obs ~insert_pct ~delete_pct m ~key_range config in
+        (name, rate, r, obs))
+      points
+  in
+  let multi = List.length results > 1 in
+  List.iter
+    (fun (name, rate, r, obs) ->
+      Format.printf "%a@." Serve.pp_result r;
+      Option.iter
+        (fun file ->
+          let file =
+            trace_file_for ~multi file (Printf.sprintf "%s-r%g" name rate)
+          in
+          Trace.write_file obs file;
+          Printf.printf "Wrote event trace (%d events, %d dropped) to %s\n"
+            (List.length (Obs.events obs))
+            (Obs.dropped obs) file)
+        trace_file;
+      if hot > 0 then begin
+        if multi then Format.printf "hot lines [%s r=%g]:@." name rate;
+        Format.printf "%a@." (Trace.pp_hot_lines ~top:hot) obs
+      end)
+    results;
+  Option.iter
+    (fun file ->
+      let doc =
+        Json.Obj
+          [
+            ("schema_version", Json.Int 2);
+            ("generator", Json.String "memory-tagging-sim bin/memtag_bench.exe");
+            ("serve_results",
+             Json.List
+               (List.map
+                  (fun (_, _, r, _) -> Serve.result_to_json r)
+                  results));
+          ]
+      in
+      Json.to_file file doc;
+      Printf.printf "Wrote benchmark JSON to %s\n" file)
+    json_file
+
 let run impl_names threads key_range insert_pct delete_pct measure seed all verbose
-    json_file trace_file hot jobs =
+    json_file trace_file hot jobs rates workers batch qcap queue_kind arrival
+    retries =
   let jobs = if jobs > 0 then jobs else Mt_par.Pool.default_jobs () in
   let chosen =
     if all then impls
@@ -48,6 +133,11 @@ let run impl_names threads key_range insert_pct delete_pct measure seed all verb
               exit 2)
         impl_names
   in
+  if rates <> [] then
+    serve chosen rates ~key_range ~insert_pct ~delete_pct ~horizon:measure ~seed
+      ~workers ~batch ~qcap ~queue_kind ~arrival ~retries ~jobs ~json_file
+      ~trace_file ~hot
+  else begin
   let spec =
     Mt_workload.Spec.make ~key_range ~insert_pct ~delete_pct ~threads
       ~measure_cycles:measure ~seed ()
@@ -91,7 +181,7 @@ let run impl_names threads key_range insert_pct delete_pct measure seed all verb
       let doc =
         Json.Obj
           [
-            ("schema_version", Json.Int 1);
+            ("schema_version", Json.Int 2);
             ("generator", Json.String "memory-tagging-sim bin/memtag_bench.exe");
             ("results",
              Json.List
@@ -103,6 +193,7 @@ let run impl_names threads key_range insert_pct delete_pct measure seed all verb
       Json.to_file file doc;
       Printf.printf "Wrote benchmark JSON to %s\n" file)
     json_file
+  end
 
 let () =
   let impl =
@@ -149,10 +240,53 @@ let () =
                    default) uses Domain.recommended_domain_count; 1 \
                    disables parallelism.")
   in
+  let rates =
+    Arg.(value & opt_all float []
+         & info [ "rate" ] ~docv:"R"
+             ~doc:"Offered load in requests per 1000 simulated cycles; \
+                   repeatable. Any $(docv) switches to the open-loop service \
+                   mode: a seeded arrival process offers requests to the \
+                   structure through bounded queues and admission control, \
+                   reporting goodput, drop rate and end-to-end latency tails \
+                   instead of closed-loop throughput. $(b,--cycles) is the \
+                   arrival horizon; $(b,--threads) is ignored in favour of \
+                   $(b,--workers).")
+  in
+  let workers =
+    Arg.(value & opt int 4
+         & info [ "workers" ] ~doc:"Service mode: worker fibers.")
+  in
+  let batch =
+    Arg.(value & opt int 1
+         & info [ "batch" ]
+             ~doc:"Service mode: max requests dequeued per dispatch.")
+  in
+  let qcap =
+    Arg.(value & opt int 64
+         & info [ "qcap" ] ~doc:"Service mode: per-queue capacity.")
+  in
+  let queue_kind =
+    Arg.(value & opt string "shared"
+         & info [ "queue" ] ~docv:"KIND"
+             ~doc:"Service mode: queue discipline \
+                   (shared|percore|steal).")
+  in
+  let arrival =
+    Arg.(value & opt string "poisson"
+         & info [ "arrival" ] ~docv:"PROC"
+             ~doc:"Service mode: arrival process (fixed|poisson|bursty).")
+  in
+  let retries =
+    Arg.(value & opt int 0
+         & info [ "retries" ] ~docv:"N"
+             ~doc:"Service mode: retry a bounced request up to $(docv) times \
+                   with capped exponential backoff instead of dropping it.")
+  in
   let cmd =
     Cmd.v
       (Cmd.info "memtag_bench" ~doc:"Run one MemTags set benchmark data point")
       Term.(const run $ impl $ threads $ range $ ins $ del $ measure $ seed $ all
-            $ verbose $ json_file $ trace_file $ hot $ jobs)
+            $ verbose $ json_file $ trace_file $ hot $ jobs $ rates $ workers
+            $ batch $ qcap $ queue_kind $ arrival $ retries)
   in
   exit (Cmd.eval cmd)

@@ -107,11 +107,13 @@ let to_json t =
       ("p50", Json.Int (percentile t 50.0));
       ("p90", Json.Int (percentile t 90.0));
       ("p99", Json.Int (percentile t 99.0));
+      ("p999", Json.Int (percentile t 99.9));
       ("max", Json.Int t.max_v);
       ("mean", Json.Float (mean t));
       ("sum", Json.Int t.sum);
     ]
 
 let pp ppf t =
-  Format.fprintf ppf "n=%d p50=%d p90=%d p99=%d max=%d" t.n
-    (percentile t 50.0) (percentile t 90.0) (percentile t 99.0) t.max_v
+  Format.fprintf ppf "n=%d p50=%d p90=%d p99=%d p99.9=%d max=%d" t.n
+    (percentile t 50.0) (percentile t 90.0) (percentile t 99.0)
+    (percentile t 99.9) t.max_v

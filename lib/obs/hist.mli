@@ -30,7 +30,10 @@ val percentile : t -> float -> int
 (** [merge ~into src] adds every sample of [src] into [into]. *)
 val merge : into:t -> t -> unit
 
-(** Summary object: count/min/p50/p90/p99/max/mean/sum. *)
+(** Summary object: count/min/p50/p90/p99/p999/max/mean/sum ("p999" is
+    the 99.9th percentile — tail-latency reporting for the service
+    layer; like every quantile it is subject to the 12.5% bucket
+    quantisation bound above). *)
 val to_json : t -> Json.t
 
 val pp : Format.formatter -> t -> unit

@@ -29,6 +29,10 @@ type kind =
   | Fiber_resume
   | Span_begin of { name : string }
   | Span_end of { name : string }
+  | Req_enqueue of { queue : int; depth : int }
+  | Req_dequeue of { queue : int; wait : int }
+  | Req_drop of { queue : int }
+  | Batch of { size : int }
 
 type event = { seq : int; time : int; core : int; kind : kind }
 
@@ -191,6 +195,10 @@ let kind_name = function
   | Fiber_stall _ -> "stall"
   | Fiber_resume -> "resume"
   | Span_begin { name } | Span_end { name } -> name
+  | Req_enqueue _ -> "req-enqueue"
+  | Req_dequeue _ -> "req-dequeue"
+  | Req_drop _ -> "req-drop"
+  | Batch _ -> "batch"
 
 let kind_args t = function
   | L1_miss { line } | L2_miss { line } | Writeback { line }
@@ -213,3 +221,9 @@ let kind_args t = function
   | Fiber_stall { cycles } -> [ ("cycles", Json.Int cycles) ]
   | Fiber_resume -> []
   | Span_begin _ | Span_end _ -> []
+  | Req_enqueue { queue; depth } ->
+      [ ("queue", Json.Int queue); ("depth", Json.Int depth) ]
+  | Req_dequeue { queue; wait } ->
+      [ ("queue", Json.Int queue); ("wait", Json.Int wait) ]
+  | Req_drop { queue } -> [ ("queue", Json.Int queue) ]
+  | Batch { size } -> [ ("size", Json.Int size) ]

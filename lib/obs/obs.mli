@@ -40,6 +40,16 @@ type kind =
   | Fiber_resume
   | Span_begin of { name : string }
   | Span_end of { name : string }
+  | Req_enqueue of { queue : int; depth : int }
+      (** Service layer: a request entered queue [queue], which now holds
+          [depth] requests. *)
+  | Req_dequeue of { queue : int; wait : int }
+      (** A worker took a request out of [queue] after it waited [wait]
+          cycles (queueing delay, separate from service time). *)
+  | Req_drop of { queue : int }
+      (** Admission control rejected a request bound for [queue] for good
+          (capacity full and the retry budget, if any, exhausted). *)
+  | Batch of { size : int }  (** One worker dequeue moved [size] requests. *)
 
 type event = { seq : int; time : int; core : int; kind : kind }
 

@@ -1,0 +1,57 @@
+(* Bounded FIFO ring. Harness-level (host) state: fibers only yield at
+   simulated stalls, so single-domain cooperative access needs no locking. *)
+
+type 'a t = {
+  id : int;
+  buf : 'a option array;
+  mutable head : int;  (* next slot to dequeue *)
+  mutable size : int;
+  mutable max_depth : int;
+  mutable enqueues : int;
+  mutable rejects : int;
+}
+
+let create ~id ~capacity =
+  if capacity <= 0 then invalid_arg "Queue.create: capacity must be positive";
+  {
+    id;
+    buf = Array.make capacity None;
+    head = 0;
+    size = 0;
+    max_depth = 0;
+    enqueues = 0;
+    rejects = 0;
+  }
+
+let id t = t.id
+let capacity t = Array.length t.buf
+let length t = t.size
+let is_empty t = t.size = 0
+
+let try_enqueue t x =
+  let cap = Array.length t.buf in
+  if t.size >= cap then begin
+    t.rejects <- t.rejects + 1;
+    false
+  end
+  else begin
+    t.buf.((t.head + t.size) mod cap) <- Some x;
+    t.size <- t.size + 1;
+    t.enqueues <- t.enqueues + 1;
+    if t.size > t.max_depth then t.max_depth <- t.size;
+    true
+  end
+
+let dequeue t =
+  if t.size = 0 then None
+  else begin
+    let x = t.buf.(t.head) in
+    t.buf.(t.head) <- None;
+    t.head <- (t.head + 1) mod Array.length t.buf;
+    t.size <- t.size - 1;
+    x
+  end
+
+let max_depth t = t.max_depth
+let enqueues t = t.enqueues
+let rejects t = t.rejects

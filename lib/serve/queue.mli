@@ -1,0 +1,37 @@
+(** Bounded FIFO request queues for the service layer.
+
+    These are harness-level structures (plain OCaml, not simulated memory):
+    the cooperative fiber runtime only switches at stall points, so the
+    queue needs no synchronization of its own — what we are measuring is
+    the {e queueing delay} requests accumulate in it, not its internal
+    contention. Occupancy, high-water mark and rejected enqueues are
+    tracked so admission behaviour can be reported per queue. *)
+
+type 'a t
+
+(** [create ~id ~capacity] — an empty queue. [id] names it in events and
+    reports (queue 0 is the shared queue; per-worker queues use the worker
+    index). Raises [Invalid_argument] if [capacity <= 0]. *)
+val create : id:int -> capacity:int -> 'a t
+
+val id : 'a t -> int
+val capacity : 'a t -> int
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+
+(** [try_enqueue q x] appends [x]; [false] (and counts a reject) if the
+    queue is at capacity. *)
+val try_enqueue : 'a t -> 'a -> bool
+
+(** Oldest element, if any. *)
+val dequeue : 'a t -> 'a option
+
+(** Highest occupancy ever reached. *)
+val max_depth : 'a t -> int
+
+(** Successful enqueues. *)
+val enqueues : 'a t -> int
+
+(** Enqueue attempts that bounced off a full queue (each retried attempt
+    counts again). *)
+val rejects : 'a t -> int

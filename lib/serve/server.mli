@@ -1,0 +1,138 @@
+(** Open-loop request service: arrivals, queueing, batching, admission.
+
+    Closed-loop workloads ({!Mt_workload.Driver}) issue the next operation
+    the instant the previous one completes, so queueing delay is invisible
+    and throughput saturates gracefully. This module instead offers load to
+    the structure at a configured rate, independent of how fast it is being
+    served: one arrival fiber generates timestamped requests from an
+    {!Arrival} process and pushes them through admission control into
+    bounded {!Queue}s; [workers] worker fibers dequeue (up to [batch] at a
+    time), execute each request against the backend, and record queueing
+    delay, service time and end-to-end latency separately. Past saturation
+    the queues fill, goodput plateaus and the end-to-end tail explodes —
+    the regime a structure serving real traffic actually lives in.
+
+    Everything is driven by simulated time and seeded PRNGs: a run is a
+    pure function of its [config], so sweeps are byte-identical for any
+    [--jobs] value and with tracing on or off. *)
+
+type queues =
+  | Shared  (** one queue, every worker dequeues from it *)
+  | Per_worker of { steal : bool }
+      (** one queue per worker (arrivals spread round-robin by request id);
+          with [steal], an idle worker takes work from the oldest end of
+          another worker's queue. *)
+
+type admission =
+  | Drop  (** reject-on-full: a bounced request is dropped immediately *)
+  | Retry of { max_retries : int; backoff_base : int; backoff_cap : int }
+      (** a bounced request is re-attempted client-side up to
+          [max_retries] times with capped exponential backoff
+          ([backoff_base * 2^attempt], capped at [backoff_cap] cycles);
+          retries never delay later arrivals (the stream stays open-loop). *)
+
+type config = {
+  workers : int;  (** worker fibers (cores 0..workers-1; arrivals on core [workers]) *)
+  batch : int;  (** max requests moved per dequeue (>= 1) *)
+  queue_capacity : int;  (** bound of each queue *)
+  queues : queues;
+  admission : admission;
+  process : Arrival.process;
+  rate_per_kcycle : float;  (** offered load: requests per 1000 cycles *)
+  horizon : int;  (** arrivals stop at this simulated time; workers drain *)
+  dispatch_cycles : int;
+      (** fixed dequeue/dispatch overhead charged once per batch — what
+          batching amortizes *)
+  idle_poll_cycles : int;  (** idle worker poll interval *)
+  seed : int;
+  record_dequeues : bool;
+      (** keep the (queue, request id) dequeue log in the result (tests) *)
+}
+
+(** [config ~workers ~rate_per_kcycle ()] with defaults: batch 1, capacity
+    64, shared queue, drop admission, Poisson arrivals, horizon 150_000,
+    dispatch 16, idle poll 32, seed 1. *)
+val config :
+  ?batch:int ->
+  ?queue_capacity:int ->
+  ?queues:queues ->
+  ?admission:admission ->
+  ?process:Arrival.process ->
+  ?horizon:int ->
+  ?dispatch_cycles:int ->
+  ?idle_poll_cycles:int ->
+  ?seed:int ->
+  ?record_dequeues:bool ->
+  workers:int ->
+  rate_per_kcycle:float ->
+  unit ->
+  config
+
+type result = {
+  backend : string;
+  config : config;
+  generated : int;  (** requests created by the arrival process *)
+  completed : int;
+  dropped : int;  (** rejected for good by admission control *)
+  rejects : int;  (** enqueue attempts that bounced (retries re-count) *)
+  steals : int;  (** requests obtained by work-stealing *)
+  still_queued : int;  (** left in queues at the end (0 after a drain) *)
+  duration : int;  (** simulated time when the last fiber finished *)
+  offered : float;  (** [config.rate_per_kcycle] *)
+  goodput : float;
+      (** completed requests per 1000 cycles of [duration] — the sustained
+          completion rate including the post-horizon drain, so overload
+          cannot credit queued backlog as capacity *)
+  drop_rate : float;  (** dropped / generated *)
+  queue_wait : Mt_obs.Hist.t;  (** arrival -> dequeue, cycles *)
+  service : Mt_obs.Hist.t;  (** dequeue -> completion, cycles *)
+  e2e : Mt_obs.Hist.t;  (** arrival -> completion, cycles *)
+  batch_fill : Mt_obs.Hist.t;  (** requests actually moved per dequeue *)
+  max_depth : int;  (** high-water occupancy over all queues *)
+  dequeue_log : (int * int) list;
+      (** (queue id, request id) in dequeue order, iff [record_dequeues] *)
+}
+
+(** [run ?cfg ?obs ~name ~setup ~op config] — the open-loop analogue of
+    {!Mt_workload.Driver.run_custom}: [setup] builds the backend on core 0;
+    [op ctx state payload] executes one request ([payload] is 62 bits of
+    seeded per-request randomness that determines the operation). The
+    machine defaults to [workers + 1] cores (the extra core runs the
+    arrival fiber). Deterministic in [config.seed].
+
+    Requests are conserved: [generated = completed + dropped +
+    still_queued] always holds, and [still_queued] is 0 because workers
+    drain the queues after arrivals stop. *)
+val run :
+  ?cfg:Mt_sim.Config.t ->
+  ?obs:Mt_obs.Obs.t ->
+  name:string ->
+  setup:(Mt_core.Ctx.t -> 'a) ->
+  op:(Mt_core.Ctx.t -> 'a -> int -> unit) ->
+  config ->
+  result
+
+(** [run_set set ~key_range config] serves a {!Mt_list.Set_intf.SET}
+    backend: the structure is prefilled to [init_fill] (default 0.5) and
+    each request performs an insert/delete/contains on a payload-derived
+    key with the given mix (defaults 35/35/30, like the paper's write-heavy
+    workload). *)
+val run_set :
+  ?cfg:Mt_sim.Config.t ->
+  ?obs:Mt_obs.Obs.t ->
+  ?init_fill:float ->
+  ?insert_pct:int ->
+  ?delete_pct:int ->
+  (module Mt_list.Set_intf.SET) ->
+  key_range:int ->
+  config ->
+  result
+
+(** One human-readable row: offered vs goodput, drop rate, wait/e2e
+    percentiles (p50/p99/p99.9), mean batch fill. *)
+val pp_result : Format.formatter -> result -> unit
+
+(** Stable machine-readable form of one service point (the latency-sweep
+    schema): the full serve configuration, conservation counters, goodput,
+    and the three latency histograms. Extend, don't reorder. *)
+val result_to_json : result -> Mt_obs.Json.t

@@ -117,6 +117,19 @@ let result_to_json r =
       ("threads", Json.Int r.spec.Spec.threads);
       ("key_range", Json.Int r.spec.Spec.key_range);
       ("seed", Json.Int r.spec.Spec.seed);
+      (* Fully self-describing spec: everything needed to replay the point. *)
+      ("spec",
+       Json.Obj
+         [
+           ("key_range", Json.Int r.spec.Spec.key_range);
+           ("init_fill", Json.Float r.spec.Spec.init_fill);
+           ("insert_pct", Json.Int r.spec.Spec.insert_pct);
+           ("delete_pct", Json.Int r.spec.Spec.delete_pct);
+           ("threads", Json.Int r.spec.Spec.threads);
+           ("warmup_cycles", Json.Int r.spec.Spec.warmup_cycles);
+           ("measure_cycles", Json.Int r.spec.Spec.measure_cycles);
+           ("seed", Json.Int r.spec.Spec.seed);
+         ]);
       ("ops", Json.Int r.ops);
       ("duration_cycles", Json.Int r.duration);
       ("throughput_per_kcycle", Json.Float r.throughput);

@@ -52,5 +52,9 @@ val run_custom :
 val pp_result : Format.formatter -> result -> unit
 
 (** Stable machine-readable form of one point (the [BENCH_*.json] per-point
-    schema): metrics, latency summary, abort breakdown, raw counters. *)
+    schema): metrics, latency summary, abort breakdown, raw counters, and a
+    fully self-describing ["spec"] object (key range, fill, mix, threads,
+    warmup/measure windows, seed — everything needed to replay the point;
+    [bin/json_check.exe --bench] enforces its presence for schema
+    version >= 2). *)
 val result_to_json : result -> Mt_obs.Json.t

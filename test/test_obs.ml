@@ -79,6 +79,35 @@ let test_hist_percentiles () =
   check_int "p100 exact" 1000 (Hist.percentile h 100.0);
   check_int "min exact" 1 (Hist.min_value h)
 
+let test_hist_p999 () =
+  (* The 12.5% bucket-quantisation bound documented in hist.mli must hold
+     for the p99.9 tail quantile too, and the "p999" summary field must
+     report it. *)
+  let h = Hist.create () in
+  for v = 1 to 100_000 do
+    Hist.add h v
+  done;
+  let got = Hist.percentile h 99.9 in
+  let expect = 99_900 in
+  if float_of_int (abs (got - expect)) > 0.125 *. float_of_int expect then
+    Alcotest.failf "p99.9: got %d, want ~%d (12.5%% bound)" got expect;
+  (match Json.member "p999" (Hist.to_json h) with
+  | Some (Json.Int v) -> check_int "p999 field matches percentile" got v
+  | _ -> Alcotest.fail "Hist.to_json lacks p999");
+  (* A spike in the last 0.1%: p99.9 must land inside the spike (again
+     within quantisation), p99 must not. *)
+  let spike = Hist.create () in
+  for _ = 1 to 9_990 do
+    Hist.add spike 100
+  done;
+  for _ = 1 to 10 do
+    Hist.add spike 50_000
+  done;
+  check_bool "p99 misses the spike" true (Hist.percentile spike 99.0 = 100);
+  let p999 = Hist.percentile spike 99.9 in
+  check_bool "p99.9 catches the spike" true
+    (float_of_int (abs (p999 - 50_000)) <= 0.125 *. 50_000.0)
+
 let test_hist_negative_clamps () =
   let h = Hist.create () in
   Hist.add h (-5);
@@ -244,16 +273,27 @@ let test_driver_json_schema () =
   List.iter
     (fun field -> check_bool field true (Json.member field j <> None))
     [
-      "impl"; "workload"; "threads"; "seed"; "ops"; "duration_cycles";
+      "impl"; "workload"; "threads"; "seed"; "spec"; "ops"; "duration_cycles";
       "throughput_per_kcycle"; "l1_miss_rate"; "energy_per_op";
       "latency_cycles"; "aborts"; "counters";
     ];
+  (* The spec object must be fully self-describing (replayable point). *)
+  (match Json.member "spec" j with
+  | Some spec ->
+      List.iter
+        (fun field -> check_bool ("spec." ^ field) true (Json.member field spec <> None))
+        [
+          "key_range"; "init_fill"; "insert_pct"; "delete_pct"; "threads";
+          "warmup_cycles"; "measure_cycles"; "seed";
+        ]
+  | None -> Alcotest.fail "no spec");
   match Json.member "latency_cycles" j with
   | Some lat ->
       check_bool "latency count positive" true
         (match Json.member "count" lat with
         | Some (Json.Int n) -> n > 0
-        | _ -> false)
+        | _ -> false);
+      check_bool "latency has p999" true (Json.member "p999" lat <> None)
   | None -> Alcotest.fail "no latency_cycles"
 
 (* ------------------------------------------------------------------ *)
@@ -268,6 +308,7 @@ let () =
           Alcotest.test_case "empty" `Quick test_hist_empty;
           Alcotest.test_case "single sample" `Quick test_hist_single_sample;
           Alcotest.test_case "percentiles 1..1000" `Quick test_hist_percentiles;
+          Alcotest.test_case "p99.9 within 12.5%" `Quick test_hist_p999;
           Alcotest.test_case "negative clamps" `Quick test_hist_negative_clamps;
           Alcotest.test_case "merge" `Quick test_hist_merge;
         ] );

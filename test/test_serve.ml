@@ -1,0 +1,315 @@
+(* Unit and integration tests for the open-loop service layer (lib/serve):
+   queue FIFO/capacity behaviour, arrival-process statistics and
+   determinism, request conservation (generated = completed + dropped +
+   still-queued) across admission/queue configurations, per-queue FIFO
+   dequeue order, same-seed byte-identical replay (with tracing on or
+   off), and the two macroscopic sanity properties of an open-loop system:
+   at low load end-to-end latency is dominated by service time, and past
+   saturation goodput plateaus while requests get dropped. *)
+
+open Mt_core
+module Serve = Mt_serve.Server
+module Arrival = Mt_serve.Arrival
+module Queue = Mt_serve.Queue
+module Hist = Mt_obs.Hist
+module Json = Mt_obs.Json
+module Obs = Mt_obs.Obs
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+
+(* ------------------------------------------------------------------ *)
+(* Queue. *)
+
+let test_queue_fifo () =
+  let q = Queue.create ~id:3 ~capacity:4 in
+  check_int "id" 3 (Queue.id q);
+  check_int "capacity" 4 (Queue.capacity q);
+  check_bool "empty" true (Queue.is_empty q);
+  List.iter
+    (fun v -> check_bool "enqueue" true (Queue.try_enqueue q v))
+    [ 10; 11; 12; 13 ];
+  check_bool "full enqueue rejected" false (Queue.try_enqueue q 14);
+  check_int "rejects" 1 (Queue.rejects q);
+  check_int "length" 4 (Queue.length q);
+  check_int "max_depth" 4 (Queue.max_depth q);
+  (* FIFO, including across wraparound. *)
+  check_bool "deq 10" true (Queue.dequeue q = Some 10);
+  check_bool "deq 11" true (Queue.dequeue q = Some 11);
+  check_bool "refill" true (Queue.try_enqueue q 14);
+  List.iter
+    (fun v -> check_bool "order" true (Queue.dequeue q = Some v))
+    [ 12; 13; 14 ];
+  check_bool "drained" true (Queue.dequeue q = None);
+  check_int "enqueues" 5 (Queue.enqueues q);
+  check_int "max_depth sticks" 4 (Queue.max_depth q)
+
+(* ------------------------------------------------------------------ *)
+(* Arrival processes. *)
+
+let times n arr = List.init n (fun _ -> Arrival.next arr)
+
+let test_arrival_fixed () =
+  let arr = Arrival.create ~process:Arrival.Fixed ~rate_per_kcycle:10.0 ~seed:1 in
+  check_bool "evenly spaced" true
+    (times 5 arr = [ 100; 200; 300; 400; 500 ])
+
+let test_arrival_poisson () =
+  let mk seed =
+    Arrival.create ~process:Arrival.Poisson ~rate_per_kcycle:5.0 ~seed
+  in
+  let ts = times 10_000 (mk 42) in
+  (* Monotone, and the empirical rate matches the offered rate. *)
+  let rec mono = function
+    | a :: (b :: _ as rest) -> a <= b && mono rest
+    | _ -> true
+  in
+  check_bool "monotone" true (mono ts);
+  let last = List.nth ts 9_999 in
+  let mean_gap = float_of_int last /. 10_000.0 in
+  check_bool "mean gap ~ 200"
+    (abs_float (mean_gap -. 200.0) < 20.0)
+    true;
+  check_bool "same seed replays" true (ts = times 10_000 (mk 42));
+  check_bool "different seed differs" false (ts = times 10_000 (mk 43))
+
+let test_arrival_bursty () =
+  let arr =
+    Arrival.create
+      ~process:(Arrival.Bursty { on_cycles = 1000; off_cycles = 3000 })
+      ~rate_per_kcycle:4.0 ~seed:7
+  in
+  let ts = times 5_000 arr in
+  (* Arrivals land only inside the on-window of each 4000-cycle period. *)
+  List.iter
+    (fun t ->
+      if t mod 4000 >= 1000 then
+        Alcotest.failf "arrival at %d is inside the off window" t)
+    ts;
+  (* The long-run average still matches the offered rate (within 15%). *)
+  let last = List.nth ts 4_999 in
+  let rate = 5_000.0 /. float_of_int last *. 1000.0 in
+  check_bool "average rate ~ 4/kcycle" true (abs_float (rate -. 4.0) < 0.6)
+
+(* ------------------------------------------------------------------ *)
+(* Service runs against a synthetic fixed-cost backend: service time is
+   exactly [work] cycles, so capacity = workers / work and every latency
+   number is predictable. *)
+
+let synthetic ?(work = 100) ?obs c =
+  Serve.run ?obs ~name:"synthetic"
+    ~setup:(fun _ctx -> ())
+    ~op:(fun ctx () _payload -> Ctx.work ctx work)
+    c
+
+let conserved (r : Serve.result) =
+  check_int "conservation" r.generated (r.completed + r.dropped + r.still_queued);
+  check_int "drained" 0 r.still_queued
+
+let test_conservation_drop () =
+  (* Overloaded (capacity ~20/kcycle at work=100, offered 60), tiny queue:
+     drops must appear and the accounting must balance. *)
+  let c =
+    Serve.config ~workers:2 ~rate_per_kcycle:60.0 ~queue_capacity:8
+      ~horizon:30_000 ()
+  in
+  let r = synthetic c in
+  conserved r;
+  check_bool "generated some load" true (r.generated > 1_000);
+  check_bool "dropped under overload" true (r.dropped > 0);
+  check_bool "rejects >= drops" true (r.rejects >= r.dropped)
+
+let test_conservation_retry () =
+  let c =
+    Serve.config ~workers:2 ~rate_per_kcycle:60.0 ~queue_capacity:8
+      ~admission:(Serve.Retry { max_retries = 3; backoff_base = 32; backoff_cap = 256 })
+      ~horizon:30_000 ()
+  in
+  let r = synthetic c in
+  conserved r;
+  check_bool "dropped even with retries" true (r.dropped > 0);
+  (* Retried attempts bounce more often than requests are dropped. *)
+  check_bool "retries add rejects" true (r.rejects > r.dropped)
+
+let test_conservation_steal_and_batch () =
+  List.iter
+    (fun steal ->
+      let c =
+        Serve.config ~workers:4 ~rate_per_kcycle:50.0 ~queue_capacity:16
+          ~queues:(Serve.Per_worker { steal }) ~batch:4 ~horizon:30_000 ()
+      in
+      let r = synthetic c in
+      conserved r;
+      check_bool "completed some" true (r.completed > 0);
+      if not steal then check_int "no steals without stealing" 0 r.steals)
+    [ false; true ]
+
+let test_fifo_order () =
+  (* Per-worker queues without stealing: each queue's dequeues must come
+     out in arrival order (ids assigned round-robin, so ascending per
+     queue). *)
+  let c =
+    Serve.config ~workers:2 ~rate_per_kcycle:20.0 ~queue_capacity:32
+      ~queues:(Serve.Per_worker { steal = false }) ~horizon:20_000
+      ~record_dequeues:true ()
+  in
+  let r = synthetic c in
+  let last = Hashtbl.create 4 in
+  List.iter
+    (fun (qid, id) ->
+      (match Hashtbl.find_opt last qid with
+      | Some prev ->
+          if id <= prev then
+            Alcotest.failf "queue %d dequeued id %d after %d" qid id prev
+      | None -> ());
+      Hashtbl.replace last qid id;
+      check_int "round-robin assignment" qid (id mod 2))
+    r.dequeue_log;
+  check_int "log covers completions" r.completed (List.length r.dequeue_log);
+  (* Shared queue: dequeue order is globally FIFO. *)
+  let c = Serve.config ~workers:3 ~rate_per_kcycle:20.0 ~horizon:20_000
+      ~record_dequeues:true () in
+  let r = synthetic c in
+  let ids = List.map snd r.dequeue_log in
+  check_bool "globally FIFO" true (List.sort compare ids = ids)
+
+let test_same_seed_replay () =
+  let c =
+    Serve.config ~workers:3 ~rate_per_kcycle:40.0 ~queue_capacity:16 ~batch:2
+      ~horizon:25_000 ~seed:5 ()
+  in
+  let j r = Json.to_string (Serve.result_to_json r) in
+  let r1 = synthetic c and r2 = synthetic c in
+  check_string "same seed, byte-identical result" (j r1) (j r2);
+  (* Tracing must not perturb anything the result reports. *)
+  let obs = Obs.create ~num_cores:4 () in
+  let r3 = synthetic ~obs c in
+  check_string "tracing changes nothing" (j r1) (j r3);
+  (* A different seed gives a genuinely different run. *)
+  let c' = { c with Serve.seed = 6 } in
+  check_bool "different seed differs" false (j r1 = j (synthetic c'))
+
+let test_events_match_counters () =
+  let c =
+    Serve.config ~workers:2 ~rate_per_kcycle:60.0 ~queue_capacity:8 ~batch:2
+      ~horizon:15_000 ()
+  in
+  let obs = Obs.create ~num_cores:3 () in
+  let r = synthetic ~obs c in
+  let enq = ref 0 and deq = ref 0 and drop = ref 0 and batches = ref 0 in
+  List.iter
+    (fun (e : Obs.event) ->
+      match e.kind with
+      | Obs.Req_enqueue _ -> incr enq
+      | Obs.Req_dequeue _ -> incr deq
+      | Obs.Req_drop _ -> incr drop
+      | Obs.Batch _ -> incr batches
+      | _ -> ())
+    (Obs.events obs);
+  check_int "enqueue events" (r.generated - r.dropped) !enq;
+  check_int "dequeue events" r.completed !deq;
+  check_int "drop events" r.dropped !drop;
+  check_bool "batch events" true (!batches > 0);
+  check_int "nothing lost to ring wraparound" 0 (Obs.dropped obs)
+
+let test_low_load_latency () =
+  (* At 10% of capacity the queue is almost always empty: end-to-end p50
+     is the service time plus dispatch overhead, not queueing. *)
+  let c =
+    Serve.config ~workers:2 ~rate_per_kcycle:2.0 ~horizon:100_000 ()
+  in
+  let r = synthetic c in
+  check_int "no drops at low load" 0 r.dropped;
+  let s50 = Hist.percentile r.service 50.0 in
+  let e50 = Hist.percentile r.e2e 50.0 in
+  check_bool "service p50 ~ work cycles" true (s50 >= 100 && s50 <= 115);
+  check_bool "e2e p50 dominated by service" true (e50 < 2 * s50);
+  check_bool "median wait is tiny" true (Hist.percentile r.queue_wait 50.0 < s50)
+
+let test_overload_saturation () =
+  (* Past the knee: goodput plateaus (2x vs 4x offered changes goodput by
+     <15%), drops appear, and the end-to-end tail explodes relative to a
+     low-load run. *)
+  let run rate =
+    synthetic
+      (Serve.config ~workers:2 ~rate_per_kcycle:rate ~queue_capacity:32
+         ~horizon:60_000 ())
+  in
+  let low = run 4.0 and over1 = run 40.0 and over2 = run 80.0 in
+  check_int "low load drops nothing" 0 low.dropped;
+  check_bool "overload drops" true (over1.dropped > 0 && over2.dropped > 0);
+  check_bool "goodput grew to saturation" true (over1.goodput > 2.0 *. low.goodput);
+  let plateau =
+    abs_float (over2.goodput -. over1.goodput) /. over1.goodput
+  in
+  check_bool "goodput plateaus past the knee" true (plateau < 0.15);
+  let p99 r = Hist.percentile r.Serve.e2e 99.0 in
+  check_bool "tail explodes past the knee" true (p99 over1 > 5 * p99 low);
+  check_bool "drop rate grows with offered load" true
+    (over2.drop_rate > over1.drop_rate)
+
+let test_batching_amortizes_dispatch () =
+  (* With a large per-dequeue dispatch cost, batching must lift goodput
+     under overload (that is the point of batching). *)
+  let run batch =
+    synthetic ~work:50
+      (Serve.config ~workers:2 ~rate_per_kcycle:40.0 ~queue_capacity:64 ~batch
+         ~dispatch_cycles:100 ~horizon:60_000 ())
+  in
+  let b1 = run 1 and b8 = run 8 in
+  check_bool "batching lifts goodput" true (b8.goodput > b1.goodput *. 1.2);
+  check_bool "batches actually fill" true (Hist.mean b8.batch_fill > 2.0)
+
+(* ------------------------------------------------------------------ *)
+(* Integration: a real structure as the backend. *)
+
+let test_real_backend () =
+  let c =
+    Serve.config ~workers:2 ~rate_per_kcycle:4.0 ~horizon:40_000
+      ~queues:(Serve.Per_worker { steal = true }) ()
+  in
+  let r = Serve.run_set (module Mt_list.Hoh_list) ~key_range:128 c in
+  conserved r;
+  check_string "backend name" "hoh-list" r.backend;
+  check_bool "completed requests" true (r.completed > 50);
+  check_bool "latency recorded" true (Hist.count r.e2e = r.completed)
+
+let () =
+  Alcotest.run "serve"
+    [
+      ( "queue",
+        [ Alcotest.test_case "fifo, capacity, counters" `Quick test_queue_fifo ] );
+      ( "arrival",
+        [
+          Alcotest.test_case "fixed spacing" `Quick test_arrival_fixed;
+          Alcotest.test_case "poisson rate + determinism" `Quick test_arrival_poisson;
+          Alcotest.test_case "bursty windows" `Quick test_arrival_bursty;
+        ] );
+      ( "conservation",
+        [
+          Alcotest.test_case "drop admission" `Quick test_conservation_drop;
+          Alcotest.test_case "retry admission" `Quick test_conservation_retry;
+          Alcotest.test_case "per-worker + steal + batch" `Quick
+            test_conservation_steal_and_batch;
+        ] );
+      ( "ordering",
+        [ Alcotest.test_case "per-queue FIFO dequeues" `Quick test_fifo_order ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "same-seed replay, tracing-invariant" `Quick
+            test_same_seed_replay;
+          Alcotest.test_case "events match counters" `Quick
+            test_events_match_counters;
+        ] );
+      ( "latency",
+        [
+          Alcotest.test_case "low load: e2e ~ service" `Quick test_low_load_latency;
+          Alcotest.test_case "overload: plateau + drops + tail" `Quick
+            test_overload_saturation;
+          Alcotest.test_case "batching amortizes dispatch" `Quick
+            test_batching_amortizes_dispatch;
+        ] );
+      ( "integration",
+        [ Alcotest.test_case "hoh-list backend" `Quick test_real_backend ] );
+    ]
