@@ -2,14 +2,29 @@ open Mt_core
 
 let null = Mt_sim.Memory.null
 
-module Make (P : sig
+module Make_gen (P : sig
   val a : int
   val b : int
+  val validated_insert : bool
 end) =
 struct
   let () =
     if P.a < 2 then invalid_arg "Abtree_hoh: a must be >= 2";
     if P.b < (2 * P.a) - 1 then invalid_arg "Abtree_hoh: b must be >= 2a-1"
+
+  (* The checker-canary seam: with [validated_insert = false] an insert
+     swings the parent slot with a plain (unvalidated) store instead of
+     IAS — the hand-over-hand descent's tag window is never checked at
+     commit time, so a concurrent replacement of the window is silently
+     overwritten. [Mt_check.Buggy_abtree] instantiates this to give the
+     linearizability battery a tree-shaped seeded bug; every real tree
+     uses {!Make}, which pins it to [true]. *)
+  let insert_commit ctx target v =
+    if P.validated_insert then Ctx.ias ctx target v
+    else begin
+      Ctx.write ctx target v;
+      true
+    end
 
   let a = P.a
   let b = P.b
@@ -145,7 +160,7 @@ struct
       let target = p + ptrs_off + ixc in
       let grew = Node_desc.leaf_insert ud k in
       let ok =
-        if Node_desc.size grew <= b then Ctx.ias ctx target (write_desc ctx grew)
+        if Node_desc.size grew <= b then insert_commit ctx target (write_desc ctx grew)
         else begin
           (* Figure 3(b): split into two leaves under a fresh flagged node. *)
           let l, r, sep = Node_desc.split grew in
@@ -155,7 +170,7 @@ struct
             write_desc ctx
               { weight = 0; leaf = false; keys = [| sep |]; ptrs = [| la; ra |] }
           in
-          Ctx.ias ctx target np
+          insert_commit ctx target np
         end
       in
       Ctx.clear_tag_set ctx;
@@ -415,3 +430,13 @@ struct
     in
     List.rev (walk t.sentinel [])
 end
+
+module Make (P : sig
+  val a : int
+  val b : int
+end) =
+  Make_gen (struct
+    include P
+
+    let validated_insert = true
+  end)

@@ -18,6 +18,26 @@
     RootUntag, RootAbsorb, AbsorbChild, PropagateTag, AbsorbSibling,
     Distribute — until the path is violation-free. *)
 
+(** Generalized over the insert commit: [validated_insert = false] drops
+    the IAS validation from insert's pointer swing (a plain store commits
+    blindly over a possibly-replaced window). That configuration exists
+    {e only} as a seeded bug for the checker battery
+    ([Mt_check.Buggy_abtree]); every real tree goes through {!Make}. *)
+module Make_gen (_ : sig
+  val a : int
+  val b : int
+  val validated_insert : bool
+end) : sig
+  include Mt_list.Set_intf.SET
+
+  (** Atomic range snapshot [\[lo, hi\]] via tag-validated leaf walks;
+      [None] when the range spans more lines than [Max_Tags] allows. *)
+  val range : Mt_core.Ctx.t -> t -> lo:int -> hi:int -> int list option
+
+  (** Structural invariant check on a quiescent machine. *)
+  val check : Mt_sim.Machine.t -> t -> Checker.report
+end
+
 module Make (_ : sig
   val a : int
   (** minimum degree; [a >= 2] *)

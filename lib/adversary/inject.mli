@@ -1,0 +1,73 @@
+(** Fault-injection plans (what the adversary does to one run).
+
+    A {!spec} names the faults to inject — everything else (when exactly
+    a straggler pauses, which keys a skewed draw picks) comes from PRNG
+    streams derived from the run's seed, so an injected run is a pure
+    function of [(spec, params, seed)] and replays byte-identically.
+    {!Scenario} arms a spec against a concrete machine/policy/workload. *)
+
+type distribution =
+  | Uniform
+  | Zipfian of { theta : float }
+      (** hot-key skew: rank [r] drawn with mass [∝ 1/(r+1)^theta], rank =
+          key (rank 0 is the hottest key). *)
+  | Flash_crowd of { hot : int; period : int; duty : int }
+      (** every [period] ops (per thread), the first [duty] ops draw from
+          a [hot]-key window that rotates each period — a moving
+          flash crowd. Remaining ops draw uniformly. *)
+
+type squeeze = {
+  at : int;  (** trigger: first stall whose fiber clock reaches [at] *)
+  max_tags : int;  (** the squeezed Max_Tags ceiling *)
+  hold : int;  (** cycles until the original ceiling is restored *)
+}
+(** A tag-capacity pressure pulse: mid-run, every core's Max_Tags drops to
+    [max_tags] for [hold] cycles, then is restored. Pulsed rather than
+    permanent so retry loops that cannot fit their window under the
+    squeezed ceiling always drain once the pulse ends. *)
+
+type straggler = { prob : float; pause : int }
+(** Straggler cores: at each stall, with probability [prob] (scaled up by
+    the load-adaptive rule when enabled), the stalling fiber's clock is
+    paused for an extra [pause] cycles. *)
+
+type geometry = {
+  l1_sets_log2 : int;
+  l1_ways : int;
+  l2_sets_log2 : int;
+  l2_ways : int;
+}
+
+type spec = {
+  squeeze : squeeze option;
+  straggler : straggler option;
+  distribution : distribution;
+  geometry : geometry option;  (** cache-geometry perturbation at build time *)
+  adaptive : bool;
+      (** load-adaptive injection: scale straggler probability by the
+          observed abort/invalidation heat (see {!Scenario}). *)
+}
+
+(** No faults: scenarios run byte-identically to {!Mt_check.Explore}. *)
+val none : spec
+
+val is_none : spec -> bool
+
+(** The moderate small-cache perturbation {!of_seed} uses. *)
+val small_geometry : geometry
+
+(** [of_seed ~seed] — the seed's adversary plan, a pure function of
+    [seed] drawn from a private PRNG stream: ~1/2 of seeds squeeze
+    Max_Tags (floor in {4,8,16}, pulsed), ~1/2 run stragglers, ~2/3 skew
+    keys (Zipfian or flash crowd), ~1/3 shrink the caches; adaptivity is
+    always on. *)
+val of_seed : seed:int -> spec
+
+(** Compact round-tripping syntax ([to_string >> of_string] is the
+    identity), e.g. ["squeeze=832,8,3000;straggler=0.05,2000;dist=zipf,1.1;adaptive"];
+    {!none} prints as ["plain"]. This is how a shrunk spec — which no
+    seed generates — is named on the [memtag_fuzz --spec] command line. *)
+val to_string : spec -> string
+
+val of_string : string -> (spec, string) result
+val pp : Format.formatter -> spec -> unit

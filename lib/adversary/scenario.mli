@@ -1,0 +1,55 @@
+(** Arming a fault plan against a run (the scenario engine's core).
+
+    A scenario = {!Mt_check.Explore} workload + an {!Inject.spec} threaded
+    through the simulator's hooks:
+
+    - {b machine}: cache-geometry perturbation at build time;
+    - {b policy}: a decorator over {!Mt_sim.Runtime.random_policy} that,
+      at each stall, (a) fires/restores the Max_Tags squeeze pulse when
+      the fiber clock crosses its trigger, and (b) pauses the stalling
+      fiber for the straggler's extra cycles with the current injection
+      probability;
+    - {b keys}: Zipfian or flash-crowd draws instead of uniform.
+
+    {b Load-adaptive rule}: every 64 stalls the engine sums the machine's
+    failed validations/CAS/VAS/IAS and inbound invalidations; the delta
+    [d] since the previous sample scales the straggler probability by
+    [1 + min 7 (d/4)] (capped at 0.9) — faults concentrate exactly when
+    the mechanisms under test are already hot.
+
+    {b Determinism contract}: injection decisions draw from a private
+    PRNG stream derived from the run seed, are made in scheduler order,
+    and read only simulation state — so an injected run is a pure
+    function of [(spec, params, seed)], replaying byte-identically, and
+    tracing still changes nothing. *)
+
+(** [run ?obs (module S) ~params ~spec ~seed] — one injected, checked
+    run. With [spec = Inject.none] this is byte-identical to
+    {!Mt_check.Explore.run}. *)
+val run :
+  ?obs:Mt_obs.Obs.t ->
+  (module Mt_list.Set_intf.SET) ->
+  params:Mt_check.Explore.params ->
+  spec:Inject.spec ->
+  seed:int ->
+  Mt_check.Explore.outcome
+
+(** [sweep ?jobs ?start (module S) ~params ~spec_of ~seeds] — the
+    first-failure sweep over seeds [start .. start+seeds-1], each run
+    injected with [spec_of seed] (use {!Inject.of_seed} for the standard
+    adversary, [Fun.const spec] to pin one plan). Inherits
+    {!Mt_check.Explore.sweep_with}'s jobs-invariance: the reported
+    failure is the globally smallest failing seed for any [jobs]. *)
+val sweep :
+  ?jobs:int ->
+  ?start:int ->
+  (module Mt_list.Set_intf.SET) ->
+  params:Mt_check.Explore.params ->
+  spec_of:(int -> Inject.spec) ->
+  seeds:int ->
+  int * Mt_check.Explore.outcome option
+
+(** The armed hook set itself (exposed for reuse; [range] is the key
+    range the distribution covers). [Inject.none] yields
+    {!Mt_check.Explore.default_hooks} exactly. *)
+val hooks : Inject.spec -> range:int -> Mt_check.Explore.hooks

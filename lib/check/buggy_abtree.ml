@@ -1,0 +1,19 @@
+(* The tree-shaped canary, mirroring [Buggy_list]: the real HoH-tagged
+   (a,b)-tree with exactly one validation dropped — insert's pointer swing
+   commits with a plain store instead of IAS, so the tagged descent window
+   is never checked at commit time and a concurrent replacement of the
+   parent slot is silently overwritten (a lost update). Delete and
+   rebalancing keep their IAS, so runs terminate normally; only the
+   history (and final contents) betray the bug. The fuzzer battery must
+   keep catching this on the tree path, under plain and adversarial
+   sweeps alike. *)
+
+module T = Mt_abtree.Abtree_hoh.Make_gen (struct
+  let a = 2
+  let b = 4
+  let validated_insert = false
+end)
+
+include T
+
+let name = "buggy-abtree"

@@ -1,0 +1,9 @@
+(** A deliberately broken (a=2,b=4) HoH-tagged a-b tree: the real
+    {!Mt_abtree.Abtree_hoh} with insert's IAS validation dropped (the
+    commit is a blind store over a possibly-replaced window). A permanent
+    canary mirroring {!Buggy_list} on the tree path: the checker battery
+    and the adversarial fuzz sweeps must keep catching it — and the
+    shrinker must reduce its failures to minimal repros. Never benchmark
+    it. *)
+
+include Mt_list.Set_intf.SET

@@ -20,10 +20,31 @@ type outcome = {
   verdict : (unit, Linearize.violation) result;
 }
 
-let run ?(obs = Mt_obs.Obs.null) (module S : Mt_list.Set_intf.SET) ~params
-    ~seed =
+(* Everything an adversary may replace about a run: how the machine is
+   built (cache geometry, Max_Tags), how the scheduling policy is derived
+   from the seed (straggler pauses, mid-run fault triggers), and how keys
+   are drawn (skewed / flash-crowd distributions). The defaults reproduce
+   the historical uninstrumented run bit for bit — same machine, same
+   policy, same PRNG consumption. *)
+type hooks = {
+  make_machine : obs:Mt_obs.Obs.t -> num_cores:int -> Machine.t;
+  make_policy : machine:Machine.t -> seed:int -> max_delay:int -> Runtime.policy;
+  draw_key : prng:Prng.t -> nth:int -> range:int -> int;
+}
+
+let default_hooks =
+  {
+    make_machine =
+      (fun ~obs ~num_cores -> Machine.create ~obs (Config.default ~num_cores ()));
+    make_policy =
+      (fun ~machine:_ ~seed ~max_delay -> Runtime.random_policy ~max_delay ~seed ());
+    draw_key = (fun ~prng ~nth:_ ~range -> Prng.int prng range);
+  }
+
+let run ?(obs = Mt_obs.Obs.null) ?(hooks = default_hooks)
+    (module S : Mt_list.Set_intf.SET) ~params ~seed =
   let p = params in
-  let m = Machine.create ~obs (Config.default ~num_cores:p.threads ()) in
+  let m = hooks.make_machine ~obs ~num_cores:p.threads in
   let s = Harness.exec1 m (fun ctx -> S.create ctx) in
   if p.prefill > 0 then
     Harness.exec1 m (fun ctx ->
@@ -33,12 +54,12 @@ let run ?(obs = Mt_obs.Obs.null) (module S : Mt_list.Set_intf.SET) ~params
         done);
   let init = S.to_list_unsafe m s in
   let h = History.create () in
-  let policy = Runtime.random_policy ~max_delay:p.max_delay ~seed () in
+  let policy = hooks.make_policy ~machine:m ~seed ~max_delay:p.max_delay in
   let duration =
     Harness.exec m ~seed ~policy ~threads:p.threads (fun ctx ->
         let g = Ctx.prng ctx in
-        for _ = 1 to p.ops do
-          let k = Prng.int g p.range in
+        for nth = 0 to p.ops - 1 do
+          let k = hooks.draw_key ~prng:g ~nth ~range:p.range in
           ignore
             (match Prng.int g 4 with
             | 0 | 1 ->
@@ -58,19 +79,19 @@ let run ?(obs = Mt_obs.Obs.null) (module S : Mt_list.Set_intf.SET) ~params
   { seed; history; init; final; duration; verdict }
 
 (* Scan [lo, hi) in ascending order, stopping at the first violation. *)
-let sweep_range (module S : Mt_list.Set_intf.SET) ~params ~lo ~hi =
+let scan_range ~run ~lo ~hi =
   let rec go seed =
     if seed >= hi then None
     else
-      let o = run (module S) ~params ~seed in
+      let o : outcome = run ~seed in
       match o.verdict with Ok () -> go (seed + 1) | Error _ -> Some o
   in
   go lo
 
-let sweep ?(jobs = 1) (module S : Mt_list.Set_intf.SET) ~params ~seeds =
+let sweep_with ?(jobs = 1) ?(start = 0) ~run ~seeds () =
+  let hi = start + seeds in
   let first_failure =
-    if jobs <= 1 || seeds <= 1 then
-      sweep_range (module S) ~params ~lo:0 ~hi:seeds
+    if jobs <= 1 || seeds <= 1 then scan_range ~run ~lo:start ~hi
     else begin
       (* Partition the seed space into contiguous ascending chunks, each
          scanned in order with early exit. The first chunk (in order)
@@ -80,14 +101,17 @@ let sweep ?(jobs = 1) (module S : Mt_list.Set_intf.SET) ~params ~seeds =
       let chunks = min seeds (jobs * 4) in
       let ranges =
         List.init chunks (fun i ->
-            (i * seeds / chunks, (i + 1) * seeds / chunks))
+            (start + (i * seeds / chunks), start + ((i + 1) * seeds / chunks)))
       in
-      Mt_par.Pool.map ~jobs
-        (fun (lo, hi) -> sweep_range (module S) ~params ~lo ~hi)
-        ranges
+      Mt_par.Pool.map ~jobs (fun (lo, hi) -> scan_range ~run ~lo ~hi) ranges
       |> List.find_map Fun.id
     end
   in
   match first_failure with
   | None -> (seeds, None)
-  | Some o -> (o.seed, Some o)
+  | Some o -> (o.seed - start, Some o)
+
+let sweep ?jobs ?start ?hooks (module S : Mt_list.Set_intf.SET) ~params ~seeds =
+  sweep_with ?jobs ?start
+    ~run:(fun ~seed -> run ?hooks (module S) ~params ~seed)
+    ~seeds ()

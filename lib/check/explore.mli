@@ -8,12 +8,18 @@
     full history check against the sequential set oracle — including the
     structure's actual final contents. Everything is a pure function of
     the parameters, so a failing seed replays to a byte-identical
-    history. *)
+    history.
+
+    The {!hooks} record is the adversary seam ([lib/adversary]): it lets a
+    caller replace how the machine is built, how the policy is derived
+    from the seed, and how keys are drawn, while this module keeps
+    ownership of the workload shape, the history recording, and the
+    first-failure sweep contract. *)
 
 type params = {
   threads : int;
   ops : int;  (** operations per thread *)
-  range : int;  (** keys drawn uniformly from [0, range) *)
+  range : int;  (** keys drawn from [0, range) *)
   prefill : int;  (** random inserts performed sequentially before the run *)
   max_delay : int;  (** scheduler yield-injection bound, in cycles *)
 }
@@ -29,26 +35,60 @@ type outcome = {
   verdict : (unit, Linearize.violation) result;
 }
 
-(** [run ?obs (module S) ~params ~seed] — execute the workload under the
-    seed's schedule and check the history. A recording [obs] captures the
-    full simulator event stream of the run (tracing never perturbs the
-    schedule, so a traced replay reproduces the untraced history). *)
+(** The injection points a scenario engine may replace. Every hook must be
+    a pure function of its arguments and the seed it was built from —
+    hooks are invoked in scheduler order, so seeded hook state keeps runs
+    byte-identically replayable. [draw_key ~prng ~nth ~range] picks the
+    [nth] (0-based, per thread) operation's key. *)
+type hooks = {
+  make_machine : obs:Mt_obs.Obs.t -> num_cores:int -> Mt_sim.Machine.t;
+  make_policy :
+    machine:Mt_sim.Machine.t -> seed:int -> max_delay:int -> Mt_sim.Runtime.policy;
+  draw_key : prng:Mt_sim.Prng.t -> nth:int -> range:int -> int;
+}
+
+(** Default machine ({!Mt_sim.Config.default}), default policy
+    ({!Mt_sim.Runtime.random_policy}), uniform keys — byte-identical to
+    the historical hook-free behaviour. *)
+val default_hooks : hooks
+
+(** [run ?obs ?hooks (module S) ~params ~seed] — execute the workload
+    under the seed's schedule and check the history. A recording [obs]
+    captures the full simulator event stream of the run (tracing never
+    perturbs the schedule, so a traced replay reproduces the untraced
+    history — with or without injection hooks). *)
 val run :
   ?obs:Mt_obs.Obs.t ->
+  ?hooks:hooks ->
   (module Mt_list.Set_intf.SET) ->
   params:params ->
   seed:int ->
   outcome
 
-(** [sweep ?jobs (module S) ~params ~seeds] — run seeds [0..seeds-1],
-    stopping at the first violation. Returns the number of clean runs and
-    the failing outcome, if any. With [jobs > 1] (default 1) the seed
-    space is scanned by [jobs] OCaml domains over contiguous chunks; each
-    seed is an independent simulation, and the first failure reported is
-    still the globally smallest failing seed, so the result is identical
-    to the sequential sweep — only faster. *)
+(** [sweep_with ?jobs ?start ~run ~seeds ()] — the generic first-failure
+    sweep over seeds [start .. start+seeds-1] (default [start = 0]),
+    stopping at the first violation; [run ~seed] must be self-contained
+    (fresh machine per call) so seeds may be evaluated on any domain.
+    Returns the number of clean runs before the failure (= [seeds] if
+    none) and the failing outcome, if any. With [jobs > 1] the seed space
+    is scanned by [jobs] OCaml domains over contiguous ascending chunks;
+    the first failure reported is still the globally smallest failing
+    seed, so the result is identical to the sequential sweep — only
+    faster. *)
+val sweep_with :
+  ?jobs:int ->
+  ?start:int ->
+  run:(seed:int -> outcome) ->
+  seeds:int ->
+  unit ->
+  int * outcome option
+
+(** [sweep ?jobs ?start ?hooks (module S) ~params ~seeds] —
+    {!sweep_with} over {!run}. *)
 val sweep :
   ?jobs:int ->
+  ?start:int ->
+  ?hooks:hooks ->
   (module Mt_list.Set_intf.SET) ->
   params:params ->
   seeds:int ->

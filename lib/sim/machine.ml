@@ -398,6 +398,13 @@ let clear_tag_set t ~core:cid =
 
 let tag_count t ~core:cid = Memtag_unit.count (core t cid).tags
 
+(* Fault-injection hook: retarget every core's tag-capacity ceiling at
+   once (mid-run Max_Tags shrink / restore). Purely architectural state —
+   no coherence traffic, no latency, no events. *)
+let set_max_tags t n = Array.iter (fun c -> Memtag_unit.set_max_tags c.tags n) t.cores
+
+let max_tags t = Memtag_unit.max_tags t.cores.(0).tags
+
 let vas t ~core:cid addr v =
   let c = core t cid in
   c.stats.vas_ops <- c.stats.vas_ops + 1;

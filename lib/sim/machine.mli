@@ -88,6 +88,19 @@ val ias : t -> core:int -> Memory.addr -> int -> bool * int
 (** Number of lines currently tracked by the core's tag unit. *)
 val tag_count : t -> core:int -> int
 
+(** {1 Fault-injection hooks} (adversarial scenario engine, [lib/adversary]). *)
+
+(** [set_max_tags t n] retargets every core's tag-capacity ceiling mid-run
+    — the adversary's Max_Tags-shrink fault. A core whose tag set already
+    exceeds [n] latches overflow and fails its next validation spuriously
+    (it recovers at its next [clear_tag_set]). No coherence traffic, no
+    latency, no events: architectural state only, so an injected run stays
+    a pure function of its seed. *)
+val set_max_tags : t -> int -> unit
+
+(** The current (possibly injected) ceiling; cores always agree. *)
+val max_tags : t -> int
+
 (** Direct read of simulated memory without touching the timing model
     (for assertions, invariant checkers and tests only). *)
 val peek : t -> Memory.addr -> int

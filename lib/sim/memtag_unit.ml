@@ -4,7 +4,7 @@ type entry = Tagged | Evicted of cause
 
 type t = {
   tbl : (int, entry) Hashtbl.t;
-  max_tags : int;
+  mutable max_tags : int;
   mutable overflow : bool;
   mutable evicted_conflict : int;
   mutable evicted_capacity : int;
@@ -65,6 +65,18 @@ let check t =
   else Ok
 
 let overflowed t = t.overflow
+
+let max_tags t = t.max_tags
+
+(* Fault-injection hook: retargets the capacity ceiling mid-run. Shrinking
+   below the number of currently tracked lines latches the overflow flag —
+   the hardware analogue of a capacity the tag set already exceeds — so
+   the victim's next validation fails spuriously and it retries under the
+   new, tighter budget (after [clear] resets the latch). *)
+let set_max_tags t n =
+  if n <= 0 then invalid_arg "Memtag_unit.set_max_tags: must be positive";
+  t.max_tags <- n;
+  if Hashtbl.length t.tbl > n then t.overflow <- true
 
 let count t = Hashtbl.length t.tbl
 

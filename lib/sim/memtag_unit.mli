@@ -42,6 +42,15 @@ val check : t -> verdict
 
 val overflowed : t -> bool
 val count : t -> int
+
+(** Current capacity ceiling (initially the [max_tags] of {!create}). *)
+val max_tags : t -> int
+
+(** [set_max_tags t n] retargets the capacity ceiling mid-run (fault
+    injection: tag-capacity pressure). If more than [n] lines are already
+    tracked the overflow flag latches immediately, so the next validation
+    fails spuriously; {!clear} resets the latch as usual. *)
+val set_max_tags : t -> int -> unit
 val clear : t -> unit
 
 (** Currently tracked lines (tagged or evicted), unordered. *)

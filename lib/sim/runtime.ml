@@ -7,14 +7,14 @@ exception Aborted
 
 type policy = {
   policy_name : string;
-  extra_delay : tid:int -> int;
+  extra_delay : tid:int -> now:int -> int;
   tie_of : tid:int -> int;
 }
 
 let default_policy =
   {
     policy_name = "fifo";
-    extra_delay = (fun ~tid:_ -> 0);
+    extra_delay = (fun ~tid:_ ~now:_ -> 0);
     tie_of = (fun ~tid -> tid);
   }
 
@@ -29,8 +29,26 @@ let random_policy ?(max_delay = 64) ~seed () =
   let g = Prng.create ~seed:(seed lxor 0x5CEDC0DE) in
   {
     policy_name = Printf.sprintf "random(seed=%d,max_delay=%d)" seed max_delay;
-    extra_delay = (fun ~tid:_ -> if max_delay = 0 then 0 else Prng.int g (max_delay + 1));
+    extra_delay =
+      (fun ~tid:_ ~now:_ -> if max_delay = 0 then 0 else Prng.int g (max_delay + 1));
     tie_of = (fun ~tid -> (Prng.int g 0x4000 lsl 16) lor (tid land 0xFFFF));
+  }
+
+let make_policy ?(name = "custom") ?extra_delay ?tie_of () =
+  {
+    policy_name = name;
+    extra_delay = Option.value extra_delay ~default:default_policy.extra_delay;
+    tie_of = Option.value tie_of ~default:default_policy.tie_of;
+  }
+
+let decorate_policy base ~name ~extra_delay =
+  {
+    policy_name = name;
+    extra_delay =
+      (fun ~tid ~now ->
+        let b = base.extra_delay ~tid ~now in
+        extra_delay ~tid ~now ~base:b);
+    tie_of = base.tie_of;
   }
 
 let policy_name p = p.policy_name
@@ -135,7 +153,7 @@ let run ?(policy = default_policy) ?(obs = Mt_obs.Obs.null) t =
             | Stall n ->
                 Some
                   (fun (k : (a, unit) continuation) ->
-                    let delay = n + policy.extra_delay ~tid in
+                    let delay = n + policy.extra_delay ~tid ~now:clocks.(tid) in
                     if Mt_obs.Obs.enabled obs then
                       Mt_obs.Obs.emit obs ~core:tid ~time:t.clock
                         (Mt_obs.Obs.Fiber_stall { cycles = delay });

@@ -42,6 +42,34 @@ val default_policy : policy
     fresh one per run. *)
 val random_policy : ?max_delay:int -> seed:int -> unit -> policy
 
+(** [make_policy ?name ?extra_delay ?tie_of ()] builds a custom policy
+    from raw hooks. [extra_delay ~tid ~now] is consulted at every stall of
+    fiber [tid], where [now] is the fiber's local clock {e before} the
+    stall is applied; the returned extra latency is added to the stall.
+    [tie_of ~tid] breaks readiness ties (it must never return the same key
+    for two distinct ready fibers; keep [tid] in the low bits). Hooks may
+    carry state (e.g. a seeded PRNG, fault injectors): they are invoked in
+    scheduler order, which is deterministic, so a policy whose hooks are a
+    pure function of their construction seed drives replayable schedules.
+    Defaults are the {!default_policy} hooks. *)
+val make_policy :
+  ?name:string ->
+  ?extra_delay:(tid:int -> now:int -> int) ->
+  ?tie_of:(tid:int -> int) ->
+  unit ->
+  policy
+
+(** [decorate_policy base ~name ~extra_delay] wraps [base]: readiness ties
+    are still broken by [base], and every stall first consults [base]'s
+    delay (so [base]'s PRNG stream is consumed identically), then passes it
+    to the decorator as [~base]. This is how fault injectors stack on top
+    of {!random_policy} without disturbing its draw sequence. *)
+val decorate_policy :
+  policy ->
+  name:string ->
+  extra_delay:(tid:int -> now:int -> base:int -> int) ->
+  policy
+
 (** Human-readable description of a policy (for logs and reports). *)
 val policy_name : policy -> string
 
