@@ -4,13 +4,19 @@
    micro-benchmarks of the primitive operations.
 
    Usage:  dune exec bench/main.exe [-- fig2 fig5 fig6 fig7 fig8 spurious
-                                        ablation micro latency summary quick
+                                        ablation micro latency timeline
+                                        summary quick
                                         --jobs N --json FILE --note k=v]
 
    "latency" has no paper counterpart: it drives the open-loop service
    layer (lib/serve) over list/tree/STM backends, sweeping offered load
    across each backend's saturation knee and reporting goodput, drop rate
    and end-to-end tail latency (p50/p99/p99.9).
+   "timeline" runs a closed-loop and an open-loop scenario under an
+   injected mid-run Max_Tags squeeze pulse with windowed telemetry
+   (lib/obs Series) attached, exporting the per-window series as the
+   "timeseries" JSON panel — the abort storm, queue backup and recovery
+   as dynamics rather than end-of-run aggregates.
    With no arguments everything runs (the paper's full sweep). "quick"
    restricts the thread sweep for a fast smoke run. --jobs N fans the
    independent simulation points out over N OCaml domains (0 = auto, 1 =
@@ -25,6 +31,8 @@ module Report = Mt_workload.Report
 module Pool = Mt_par.Pool
 module Serve = Mt_serve.Server
 module Hist = Mt_obs.Hist
+module Series = Mt_obs.Series
+module Obs = Mt_obs.Obs
 
 (* ------------------------------------------------------------------ *)
 (* Configuration. *)
@@ -608,6 +616,99 @@ let summary () =
 
 module Json = Mt_obs.Json
 
+(* ------------------------------------------------------------------ *)
+(* Timeline: windowed telemetry under an injected Max_Tags squeeze.
+
+   Two scenarios over the HoH list — a closed-loop run (8 threads) and an
+   open-loop serve run (4 workers) — each with a mid-run squeeze pulse
+   dropping Max_Tags to 1. A hand-over-hand locate's window is two live
+   tags, so under the pulse every traversal overflows the tag file:
+   validations fail spuriously, ops spin in retry, and (open-loop) the
+   queues back up — then the pulse restores and the per-window series
+   shows the recovery. The telemetry runs on a retain:false sink (the
+   series reads the live event stream, not the rings), so the panel is
+   byte-identical for any --jobs value and with tracing on or off. *)
+
+let timeline_window = 5_000
+let timeline_rows : Json.t list ref = ref []
+
+let timeline () =
+  print_endline
+    "\n=== Timeline: windowed telemetry under a Max_Tags squeeze pulse ===";
+  let horizon = if !quick then 60_000 else 150_000 in
+  let fault = Printf.sprintf "squeeze=%d,1,%d" (horizon / 3) (horizon / 5) in
+  let spec_inj =
+    match Mt_adversary.Inject.of_string fault with
+    | Ok s -> s
+    | Error e -> failwith ("bench timeline: bad fault spec: " ^ e)
+  in
+  let make_policy m =
+    Mt_adversary.Scenario.make_policy spec_inj ~machine:m ~seed:1 ~max_delay:0
+  in
+  let closed () =
+    let obs = Obs.create ~retain:false ~num_cores:8 () in
+    let series = Series.create ~window:timeline_window () in
+    let spec =
+      Spec.make ~key_range:list_range ~insert_pct:35 ~delete_pct:35 ~threads:8
+        ~measure_cycles:horizon ()
+    in
+    let r =
+      Driver.run_set ~obs ~make_policy ~series (module Mt_list.Hoh_list) spec
+    in
+    ("closed-squeeze", "closed-loop", series, Driver.result_to_json r)
+  in
+  let serve () =
+    let obs = Obs.create ~retain:false ~num_cores:(serve_workers + 1) () in
+    let series = Series.create ~window:timeline_window () in
+    let c =
+      Serve.config ~workers:serve_workers ~batch:4 ~queue_capacity:128
+        ~rate_per_kcycle:8.0 ~horizon ()
+    in
+    let r =
+      Serve.run_set ~obs ~make_policy ~series
+        (module Mt_list.Hoh_list)
+        ~key_range:list_range c
+    in
+    ("serve-squeeze", "open-loop", series, Serve.result_to_json r)
+  in
+  let scenarios = Pool.map ~jobs:(pjobs ()) (fun f -> f ()) [ closed; serve ] in
+  List.iter
+    (fun (name, _, series, _) ->
+      List.iter
+        (fun (t, label) -> Printf.printf "  [%s] mark @%-6d %s\n%!" name t label)
+        (Series.marks series);
+      let ws = Series.windows series in
+      let peak = ref 0 in
+      Array.iteri
+        (fun i w ->
+          if
+            w.Series.w_snap.Series.c_tag_overflows
+            > ws.(!peak).Series.w_snap.Series.c_tag_overflows
+          then peak := i)
+        ws;
+      let w = ws.(!peak) in
+      Printf.printf
+        "  [%s] %d windows of %d cycles; peak window [%d,%d): %d tag \
+         overflows, %d spurious validation failures, %d ops\n%!"
+        name (Array.length ws) timeline_window w.Series.w_t0
+        (w.Series.w_t0 + timeline_window)
+        w.Series.w_snap.Series.c_tag_overflows w.Series.w_validate_spurious
+        w.Series.w_ops)
+    scenarios;
+  timeline_rows :=
+    List.map
+      (fun (name, mode, series, result) ->
+        Json.Obj
+          [
+            ("scenario", Json.String name);
+            ("mode", Json.String mode);
+            ("backend", Json.String "hoh-list");
+            ("fault_spec", Json.String fault);
+            ("series", Series.to_json series);
+            ("result", result);
+          ])
+      scenarios
+
 let figure_order = [ "fig2"; "fig5"; "fig6"; "fig7"; "fig8" ]
 
 let series_to_json (s : series) =
@@ -666,12 +767,22 @@ let export_json file =
     List.map
       (fun (name, paper, measured) ->
         Json.Obj
-          [
-            ("comparison", Json.String name);
-            ("paper_claim", Json.String paper);
-            ("measured_peak_speedup",
-             match measured with Some g -> Json.Float g | None -> Json.Null);
-          ])
+          ([
+             ("comparison", Json.String name);
+             ("paper_claim", Json.String paper);
+           ]
+          @
+          (* Never a bare null: a figure missing from this run selection is
+             an explicit skip with a reason (json_check enforces this at
+             schema v3). *)
+          match measured with
+          | Some g -> [ ("measured_peak_speedup", Json.Float g) ]
+          | None ->
+              [
+                ("skipped", Json.Bool true);
+                ("reason",
+                 Json.String "figure not collected in this run selection");
+              ]))
       !headline_rows
   in
   let note_fields =
@@ -686,13 +797,14 @@ let export_json file =
   let doc =
     Json.Obj
       ([
-         ("schema_version", Json.Int 2);
+         ("schema_version", Json.Int 3);
          ("generator", Json.String "memory-tagging-sim bench/main.exe");
          ("quick", Json.Bool !quick);
          ("figures", Json.Obj figures);
          ("spurious", Json.List spurious);
          ("headline", Json.List headline);
          ("latency", Json.List latency_points);
+         ("timeseries", Json.List !timeline_rows);
        ]
       @ note_fields)
   in
@@ -741,6 +853,7 @@ let () =
   if want "spurious" then spurious ();
   if want "ablation" then ablation ();
   if want "latency" then latency ();
+  if want "timeline" then timeline ();
   if want "micro" then micro ();
   if want "summary" then summary ();
   Option.iter export_json json_file;

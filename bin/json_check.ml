@@ -11,7 +11,14 @@
             (key_range, init_fill, insert_pct, delete_pct, threads,
             warmup_cycles, measure_cycles, seed), and every service point
             (any object carrying both "backend" and "goodput_per_kcycle")
-            a "serve" configuration object.
+            a "serve" configuration object. For schema_version >= 3 the
+            document must contain no bare nulls (a skipped measurement is
+            an explicit {"skipped": true, "reason": ...}), every headline
+            row (any object carrying "comparison") must carry either a
+            numeric "measured_peak_speedup" or that skip marker, and
+            every time-series object (any object carrying "windows")
+            must be a full Series export (window geometry, marks, the
+            per-window panels, a latency summary).
    --trace  additionally requires a "traceEvents" array where every
             element has "ph", "ts" and "pid" fields (the Chrome
             trace-event contract Perfetto relies on). *)
@@ -40,12 +47,62 @@ let serve_fields =
     "offered_per_kcycle"; "horizon_cycles"; "seed";
   ]
 
+let series_fields =
+  [ "window_cycles"; "n_windows"; "marks"; "windows"; "latency_summary" ]
+
+let window_fields =
+  [ "t0"; "t1"; "ops"; "aborts"; "tags"; "mem"; "heat"; "serve"; "latency" ]
+
 (* Walk the whole document: any object that looks like a benchmark point
    (has both "impl" and "ops") must be self-describing, likewise any
-   service point (has both "backend" and "goodput_per_kcycle"). *)
-let rec check_points path j =
+   service point (has both "backend" and "goodput_per_kcycle"). At
+   schema v3, additionally: no bare nulls anywhere, headline rows carry
+   a measurement or an explicit skip, and Series exports are complete. *)
+let rec check_points ?(v3 = false) path j =
+  (if v3 then match j with
+   | Json.Null -> fail "%s: bare null (schema v3 wants explicit skips)" path
+   | _ -> ());
   match j with
   | Json.Obj fields ->
+      if v3 then begin
+        if Json.member "comparison" j <> None then begin
+          match (Json.member "measured_peak_speedup" j, Json.member "skipped" j)
+          with
+          | Some (Json.Float _ | Json.Int _), _ -> ()
+          | _, Some (Json.Bool true) ->
+              if
+                match Json.member "reason" j with
+                | Some (Json.String _) -> true
+                | _ -> false
+              then ()
+              else fail "%s: skipped headline row lacks a \"reason\"" path
+          | _ ->
+              fail
+                "%s: headline row needs a numeric measured_peak_speedup or \
+                 skipped:true"
+                path
+        end;
+        match Json.member "windows" j with
+        | Some (Json.List ws) ->
+            List.iter
+              (fun f ->
+                if Json.member f j = None then
+                  fail "%s: time-series object lacks %S" path f)
+              series_fields;
+            (match Json.member "window_cycles" j with
+            | Some (Json.Int w) when w > 0 -> ()
+            | _ -> fail "%s: window_cycles must be a positive integer" path);
+            List.iteri
+              (fun i w ->
+                List.iter
+                  (fun f ->
+                    if Json.member f w = None then
+                      fail "%s: windows[%d] lacks %S" path i f)
+                  window_fields)
+              ws
+        | Some _ -> fail "%s: \"windows\" must be a list" path
+        | None -> ()
+      end;
       if Json.member "impl" j <> None && Json.member "ops" j <> None then begin
         match Json.member "spec" j with
         | Some (Json.Obj _ as spec) ->
@@ -69,13 +126,13 @@ let rec check_points path j =
               serve_fields
         | _ -> fail "%s: service point lacks a \"serve\" object" path
       end;
-      List.iter (fun (_, v) -> check_points path v) fields
-  | Json.List l -> List.iter (check_points path) l
+      List.iter (fun (_, v) -> check_points ~v3 path v) fields
+  | Json.List l -> List.iter (check_points ~v3 path) l
   | _ -> ()
 
 let check_bench path j =
   match Json.member "schema_version" j with
-  | Some (Json.Int v) -> if v >= 2 then check_points path j
+  | Some (Json.Int v) -> if v >= 2 then check_points ~v3:(v >= 3) path j
   | _ -> fail "%s: missing integer schema_version" path
 
 let check_trace path j =

@@ -104,12 +104,17 @@ let serve chosen rates ~key_range ~insert_pct ~delete_pct ~horizon ~seed
       let doc =
         Json.Obj
           [
-            ("schema_version", Json.Int 2);
+            ("schema_version", Json.Int 3);
             ("generator", Json.String "memory-tagging-sim bin/memtag_bench.exe");
             ("serve_results",
              Json.List
                (List.map
-                  (fun (_, _, r, _) -> Serve.result_to_json r)
+                  (fun (_, _, r, obs) ->
+                    Json.Obj
+                      [
+                        ("events_dropped", Json.Int (Obs.dropped obs));
+                        ("result", Serve.result_to_json r);
+                      ])
                   results));
           ]
       in
@@ -175,18 +180,22 @@ let run impl_names threads key_range insert_pct delete_pct measure seed all verb
         Format.printf "%a@." (Trace.pp_hot_lines ~top:hot) obs
       end)
     results;
-  let results = List.map (fun (name, r, _) -> (name, r)) results in
   Option.iter
     (fun file ->
       let doc =
         Json.Obj
           [
-            ("schema_version", Json.Int 2);
+            ("schema_version", Json.Int 3);
             ("generator", Json.String "memory-tagging-sim bin/memtag_bench.exe");
             ("results",
              Json.List
                (List.map
-                  (fun (_, r) -> Mt_workload.Driver.result_to_json r)
+                  (fun (_, r, obs) ->
+                    Json.Obj
+                      [
+                        ("events_dropped", Json.Int (Obs.dropped obs));
+                        ("result", Mt_workload.Driver.result_to_json r);
+                      ])
                   results));
           ]
       in

@@ -29,6 +29,14 @@ let make_policy (spec : Inject.spec) ~machine ~seed ~max_delay =
     let stalls = ref 0 in
     let last_heat = ref 0 in
     let mult = ref 1 in
+    (* Each fault instant is marked on the timeline (core 0 — the fault is
+       machine-global) so a telemetry window or trace can attribute the
+       abort spike to the pulse that caused it. *)
+    let mark ~now label =
+      let obs = Machine.obs machine in
+      if Mt_obs.Obs.enabled obs then
+        Mt_obs.Obs.emit obs ~core:0 ~time:now (Mt_obs.Obs.Fault { label })
+    in
     Runtime.decorate_policy base
       ~name:
         (Printf.sprintf "adversary(seed=%d,%s)" seed (Inject.to_string spec))
@@ -38,9 +46,11 @@ let make_policy (spec : Inject.spec) ~machine ~seed ~max_delay =
             match !squeeze_state with
             | `Armed when now >= at ->
                 Machine.set_max_tags machine max_tags;
+                mark ~now (Printf.sprintf "squeeze(max_tags=%d)" max_tags);
                 squeeze_state := `Squeezed
             | `Squeezed when now >= at + hold ->
                 Machine.set_max_tags machine restore;
+                mark ~now "squeeze-restore";
                 squeeze_state := `Done
             | _ -> ())
         | None -> ());

@@ -53,3 +53,16 @@ val sweep :
     range the distribution covers). [Inject.none] yields
     {!Mt_check.Explore.default_hooks} exactly. *)
 val hooks : Inject.spec -> range:int -> Mt_check.Explore.hooks
+
+(** The armed policy decorator alone — for driving fault pulses under
+    the closed-loop {!Mt_workload.Driver} or the serve layer (pass as
+    [?make_policy] with a closure supplying [seed]/[max_delay]). The
+    squeeze pulse fires once per policy value, and every fault instant
+    is emitted as an [Obs.Fault] timeline mark on the machine's sink.
+    [max_delay:0] keeps the base schedule undisturbed. *)
+val make_policy :
+  Inject.spec ->
+  machine:Mt_sim.Machine.t ->
+  seed:int ->
+  max_delay:int ->
+  Mt_sim.Runtime.policy

@@ -1,6 +1,7 @@
 open Mt_sim
 
-let exec machine ?(seed = 0x5EED) ?(policy = Runtime.default_policy) ~threads f =
+let exec machine ?(seed = 0x5EED) ?(policy = Runtime.default_policy) ?tick
+    ~threads f =
   if threads <= 0 || threads > Machine.num_cores machine then
     invalid_arg "Harness.exec: bad thread count";
   let master = Prng.create ~seed in
@@ -9,7 +10,7 @@ let exec machine ?(seed = 0x5EED) ?(policy = Runtime.default_policy) ~threads f 
     let prng = Prng.split master in
     Runtime.spawn rt (fun () -> f (Ctx.make machine ~rt ~core ~prng))
   done;
-  Runtime.run ~policy ~obs:(Machine.obs machine) rt;
+  Runtime.run ~policy ~obs:(Machine.obs machine) ?tick rt;
   Runtime.clock rt
 
 let exec1 machine ?(seed = 0x5EED) f =

@@ -20,7 +20,10 @@
     explore an alternative, fully reproducible interleaving of the same
     workload. Returns the simulated duration in cycles (the time the last
     fiber finished). Raises [Invalid_argument] if [threads] exceeds the
-    machine's cores or is not positive.
+    machine's cores or is not positive. [tick] is forwarded to
+    {!Mt_sim.Runtime.run}: a periodic observation hook fired at every
+    multiple of its interval the simulated clock crosses (the window
+    telemetry snapshot point).
 
     Thread safety: one [exec] per domain at a time, each on its own
     machine. Independent machines may execute concurrently on different
@@ -31,6 +34,7 @@ val exec :
   Mt_sim.Machine.t ->
   ?seed:int ->
   ?policy:Mt_sim.Runtime.policy ->
+  ?tick:int * (now:int -> unit) ->
   threads:int ->
   (Ctx.t -> unit) ->
   int

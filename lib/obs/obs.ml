@@ -19,6 +19,7 @@ type kind =
   | Tag_add of { line : int }
   | Tag_remove of { line : int }
   | Tag_evict of { line : int; conflict : bool }
+  | Tag_clear of { count : int }
   | Validate of { ok : bool; spurious : bool }
   | Vas of { ok : bool }
   | Ias of { ok : bool }
@@ -29,10 +30,14 @@ type kind =
   | Fiber_resume
   | Span_begin of { name : string }
   | Span_end of { name : string }
-  | Req_enqueue of { queue : int; depth : int }
-  | Req_dequeue of { queue : int; wait : int }
-  | Req_drop of { queue : int }
+  | Req_arrive of { id : int }
+  | Req_enqueue of { id : int; queue : int; depth : int }
+  | Req_dequeue of { id : int; queue : int; wait : int }
+  | Req_retry of { id : int; attempt : int; cause : string }
+  | Req_drop of { id : int; queue : int; cause : string }
+  | Req_commit of { id : int }
   | Batch of { size : int }
+  | Fault of { label : string }
 
 type event = { seq : int; time : int; core : int; kind : kind }
 
@@ -47,7 +52,9 @@ type line_contention = { mutable invals : int; mutable downgrades : int }
 type recording = {
   rings : ring array;
   mutable seq : int;
-  mutable dropped : int;
+  dropped : int array;  (* per core, same index as [rings] *)
+  retain : bool;
+  mutable tap : (event -> unit) option;
   hot : (int, line_contention) Hashtbl.t;
   labels : (int, string) Hashtbl.t;  (* line -> owning allocation label *)
 }
@@ -58,7 +65,8 @@ let null = Null
 
 let default_ring_capacity = 1 lsl 16
 
-let create ?(ring_capacity = default_ring_capacity) ~num_cores () =
+let create ?(ring_capacity = default_ring_capacity) ?(retain = true)
+    ~num_cores () =
   if ring_capacity <= 0 then invalid_arg "Obs.create: ring_capacity";
   if num_cores <= 0 then invalid_arg "Obs.create: num_cores";
   Recording
@@ -67,12 +75,17 @@ let create ?(ring_capacity = default_ring_capacity) ~num_cores () =
         Array.init num_cores (fun _ ->
             { buf = Array.make ring_capacity None; next = 0 });
       seq = 0;
-      dropped = 0;
+      dropped = Array.make num_cores 0;
+      retain;
+      tap = None;
       hot = Hashtbl.create 1024;
       labels = Hashtbl.create 1024;
     }
 
 let enabled = function Null -> false | Recording _ -> true
+
+let set_tap t tap =
+  match t with Null -> () | Recording r -> r.tap <- tap
 
 let hot_entry r line =
   match Hashtbl.find_opt r.hot line with
@@ -94,15 +107,24 @@ let emit t ~core ~time kind =
           let e = hot_entry r line in
           e.downgrades <- e.downgrades + 1
       | _ -> ());
-      let ring = r.rings.(core) in
-      let cap = Array.length ring.buf in
-      if ring.next >= cap then r.dropped <- r.dropped + 1;
-      ring.buf.(ring.next mod cap) <-
-        Some { seq = r.seq; time; core; kind };
-      ring.next <- ring.next + 1;
-      r.seq <- r.seq + 1
+      let e = { seq = r.seq; time; core; kind } in
+      r.seq <- r.seq + 1;
+      (match r.tap with Some f -> f e | None -> ());
+      if r.retain then begin
+        let ring = r.rings.(core) in
+        let cap = Array.length ring.buf in
+        if ring.next >= cap then r.dropped.(core) <- r.dropped.(core) + 1;
+        ring.buf.(ring.next mod cap) <- Some e;
+        ring.next <- ring.next + 1
+      end
 
-let dropped = function Null -> 0 | Recording r -> r.dropped
+let dropped = function
+  | Null -> 0
+  | Recording r -> Array.fold_left ( + ) 0 r.dropped
+
+let dropped_per_core = function
+  | Null -> [||]
+  | Recording r -> Array.copy r.dropped
 
 (* Oldest-to-newest contents of one ring. *)
 let ring_events ring =
@@ -182,6 +204,7 @@ let kind_name = function
   | Tag_remove _ -> "tag-remove"
   | Tag_evict { conflict = true; _ } -> "tag-evict-conflict"
   | Tag_evict { conflict = false; _ } -> "tag-evict-capacity"
+  | Tag_clear _ -> "tag-clear"
   | Validate { ok = true; _ } -> "validate-ok"
   | Validate { ok = false; spurious = false } -> "validate-fail"
   | Validate { ok = false; spurious = true } -> "validate-fail-spurious"
@@ -195,10 +218,14 @@ let kind_name = function
   | Fiber_stall _ -> "stall"
   | Fiber_resume -> "resume"
   | Span_begin { name } | Span_end { name } -> name
+  | Req_arrive _ -> "req-arrive"
   | Req_enqueue _ -> "req-enqueue"
   | Req_dequeue _ -> "req-dequeue"
+  | Req_retry _ -> "req-retry"
   | Req_drop _ -> "req-drop"
+  | Req_commit _ -> "req-commit"
   | Batch _ -> "batch"
+  | Fault _ -> "fault"
 
 let kind_args t = function
   | L1_miss { line } | L2_miss { line } | Writeback { line }
@@ -206,6 +233,7 @@ let kind_args t = function
       [ ("line", Json.Int line) ]
   | Tag_evict { line; conflict } ->
       [ ("line", Json.Int line); ("conflict", Json.Bool conflict) ]
+  | Tag_clear { count } -> [ ("count", Json.Int count) ]
   | Inval_sent { line; victim } | Downgrade { line; victim } ->
       let base = [ ("line", Json.Int line); ("victim", Json.Int victim) ] in
       (match label_of t line with
@@ -221,9 +249,32 @@ let kind_args t = function
   | Fiber_stall { cycles } -> [ ("cycles", Json.Int cycles) ]
   | Fiber_resume -> []
   | Span_begin _ | Span_end _ -> []
-  | Req_enqueue { queue; depth } ->
-      [ ("queue", Json.Int queue); ("depth", Json.Int depth) ]
-  | Req_dequeue { queue; wait } ->
-      [ ("queue", Json.Int queue); ("wait", Json.Int wait) ]
-  | Req_drop { queue } -> [ ("queue", Json.Int queue) ]
+  | Req_arrive { id } -> [ ("id", Json.Int id) ]
+  | Req_enqueue { id; queue; depth } ->
+      [ ("id", Json.Int id); ("queue", Json.Int queue);
+        ("depth", Json.Int depth) ]
+  | Req_dequeue { id; queue; wait } ->
+      [ ("id", Json.Int id); ("queue", Json.Int queue);
+        ("wait", Json.Int wait) ]
+  | Req_retry { id; attempt; cause } ->
+      [ ("id", Json.Int id); ("attempt", Json.Int attempt);
+        ("cause", Json.String cause) ]
+  | Req_drop { id; queue; cause } ->
+      [ ("id", Json.Int id); ("queue", Json.Int queue);
+        ("cause", Json.String cause) ]
+  | Req_commit { id } -> [ ("id", Json.Int id) ]
   | Batch { size } -> [ ("size", Json.Int size) ]
+  | Fault { label } -> [ ("label", Json.String label) ]
+
+(* The request id an event participates in, if any — the thread that links
+   one request's causal chain (arrive → enqueue → dequeue → retries →
+   commit/drop) across cores in the trace exporter's flow events. *)
+let req_id = function
+  | Req_arrive { id }
+  | Req_enqueue { id; _ }
+  | Req_dequeue { id; _ }
+  | Req_retry { id; _ }
+  | Req_drop { id; _ }
+  | Req_commit { id } ->
+      Some id
+  | _ -> None

@@ -1,0 +1,105 @@
+(** Windowed time-series telemetry.
+
+    A series partitions the simulated clock into fixed-width windows
+    ([window] cycles, default 5000) and folds two deterministic inputs
+    into per-window metrics:
+
+    - the live Obs event stream, delivered through {!Obs.set_tap} — ops
+      (span completions) and their latency histogram, abort causes,
+      tag churn and occupancy, service-layer queue activity;
+    - cumulative machine counters, snapshotted at window boundaries by a
+      {!Mt_sim.Runtime} tick and differenced into per-window deltas —
+      L1 hits/misses, coherence messages, invalidations, writebacks,
+      tag overflows, and the adversary's heat metric.
+
+    {b Determinism contract}: the output is a pure function of the fed
+    events and snapshots. A series never reads the sink's rings, so it is
+    byte-identical with trace retention on or off ([Obs.create
+    ~retain:false]), and — one series per sweep point, like one sink per
+    point — for any [--jobs] value. Zero overhead when unused: no tap, no
+    tick, no cost. *)
+
+type t
+
+(** Cumulative machine counters at a point in time (shape-independent of
+    [Mt_sim.Stats] so the dependency points the right way). [c_heat] is
+    the adversary's contention temperature. *)
+type counters = {
+  c_l1_hits : int;
+  c_l1_misses : int;
+  c_coherence_msgs : int;
+  c_invalidations : int;
+  c_writebacks : int;
+  c_tag_overflows : int;
+  c_heat : int;
+}
+
+val zero_counters : counters
+
+val default_window : int
+
+(** [create ?window ()] — an empty series with [window]-cycle windows. *)
+val create : ?window:int -> unit -> t
+
+val window_cycles : t -> int
+
+(** The Obs tap: fold one event into its window (window index =
+    [time / window]). Ops are attributed to the window their span ends
+    in; [Fault] events become timeline marks. *)
+val feed : t -> Obs.event -> unit
+
+(** Cumulative counters at the instant the measured phase starts (so the
+    first window's delta excludes warmup). *)
+val set_baseline : t -> counters -> unit
+
+(** [snapshot t ~time c] closes the counter delta since the previous
+    snapshot into the window containing cycle [time - 1]. Call at exact
+    window boundaries (the {!Mt_sim.Runtime} tick does). *)
+val snapshot : t -> time:int -> counters -> unit
+
+(** [finish t ~time c] attributes the tail delta to the final (possibly
+    partial) window at the run's final clock [time]. Safe when [time]
+    lands exactly on an already-snapshotted boundary. *)
+val finish : t -> time:int -> counters -> unit
+
+(** Fault-injection marks, oldest first: [(time, label)]. *)
+val marks : t -> (int * string) list
+
+(** All per-window latency histograms merged ({!Hist.merge}) into one
+    run-level summary. *)
+val latency_summary : t -> Hist.t
+
+(** Deterministic JSON: window geometry, marks, one object per window
+    (throughput, abort breakdown, tag churn/occupancy/overflows, memory
+    traffic and L1 miss rate, heat, serve activity, latency histogram),
+    and the merged latency summary. Contains no JSON nulls. *)
+val to_json : t -> Json.t
+
+(**/**)
+
+(* Exposed for the unit tests. *)
+type window = {
+  w_t0 : int;
+  mutable w_ops : int;
+  mutable w_validate_real : int;
+  mutable w_validate_spurious : int;
+  mutable w_vas_fail : int;
+  mutable w_ias_fail : int;
+  mutable w_stm_aborts : int;
+  mutable w_tag_adds : int;
+  mutable w_tag_removes : int;
+  mutable w_tag_evict_capacity : int;
+  mutable w_tag_evict_conflict : int;
+  mutable w_tag_occupancy_end : int;
+  mutable w_occ_seen : bool;
+  mutable w_enqueues : int;
+  mutable w_dequeues : int;
+  mutable w_retries : int;
+  mutable w_drops : int;
+  mutable w_commits : int;
+  mutable w_max_depth : int;
+  w_lat : Hist.t;
+  mutable w_snap : counters;
+}
+
+val windows : t -> window array

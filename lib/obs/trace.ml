@@ -3,9 +3,14 @@
    One process (pid 0) for the simulated machine, one track (tid) per
    simulated core. Simulated cycles map 1:1 onto the format's microsecond
    timestamps. Span_begin/Span_end become duration ("B"/"E") events; every
-   other kind becomes a thread-scoped instant ("i"). The output is a pure
-   function of the recorded event stream, so identical runs export
-   byte-identical traces. *)
+   other kind becomes an instant ("i") — thread-scoped, except adversary
+   Fault marks which are global so a squeeze pulse draws a full-height
+   line across every track. Service-layer request events additionally
+   emit Perfetto flow events (ph "s"/"t"/"f", cat "req", id = request id)
+   so one request's causal chain — arrive, enqueue, dequeue, retries,
+   commit or drop — renders as connected arrows across cores. The output
+   is a pure function of the recorded event stream, so identical runs
+   export byte-identical traces. *)
 
 let meta_events ~num_cores =
   Json.Obj
@@ -26,6 +31,35 @@ let meta_events ~num_cores =
               Json.Obj [ ("name", Json.String (Printf.sprintf "core %d" core)) ]);
            ])
 
+(* The flow phase of a request event: "s" starts the flow at arrival,
+   "t" threads it through each queue/retry step, "f" finishes it at the
+   terminal commit or drop. *)
+let flow_phase = function
+  | Obs.Req_arrive _ -> Some "s"
+  | Obs.Req_enqueue _ | Obs.Req_dequeue _ | Obs.Req_retry _ -> Some "t"
+  | Obs.Req_commit _ | Obs.Req_drop _ -> Some "f"
+  | _ -> None
+
+let flow_json (e : Obs.event) =
+  match (flow_phase e.kind, Obs.req_id e.kind) with
+  | Some ph, Some id ->
+      let base =
+        [
+          ("name", Json.String "req");
+          ("cat", Json.String "req");
+          ("ph", Json.String ph);
+          ("ts", Json.Int e.time);
+          ("pid", Json.Int 0);
+          ("tid", Json.Int e.core);
+          ("id", Json.Int id);
+        ]
+      in
+      (* bp:"e" binds the finish to the enclosing slice's end, not the
+         next slice — required for terminal steps. *)
+      let bp = if ph = "f" then [ ("bp", Json.String "e") ] else [] in
+      [ Json.Obj (base @ bp) ]
+  | _ -> []
+
 let event_json obs (e : Obs.event) =
   let ph =
     match e.kind with
@@ -42,13 +76,18 @@ let event_json obs (e : Obs.event) =
       ("tid", Json.Int e.core);
     ]
   in
-  let scope = if ph = "i" then [ ("s", Json.String "t") ] else [] in
+  let scope =
+    if ph = "i" then
+      let s = match e.kind with Obs.Fault _ -> "g" | _ -> "t" in
+      [ ("s", Json.String s) ]
+    else []
+  in
   let args =
     match Obs.kind_args obs e.kind with
     | [] -> []
     | args -> [ ("args", Json.Obj args) ]
   in
-  Json.Obj (base @ scope @ args)
+  Json.Obj (base @ scope @ args) :: flow_json e
 
 let to_json ?(num_cores = 0) obs =
   let events = Obs.events obs in
@@ -58,13 +97,18 @@ let to_json ?(num_cores = 0) obs =
   Json.Obj
     [
       ("traceEvents",
-       Json.List (meta_events ~num_cores @ List.map (event_json obs) events));
+       Json.List
+         (meta_events ~num_cores @ List.concat_map (event_json obs) events));
       ("displayTimeUnit", Json.String "ns");
       ("otherData",
        Json.Obj
          [
            ("generator", Json.String "memtags-sim");
            ("dropped_events", Json.Int (Obs.dropped obs));
+           ("dropped_per_core",
+            Json.List
+              (Array.to_list
+                 (Array.map (fun d -> Json.Int d) (Obs.dropped_per_core obs))));
          ]);
     ]
 

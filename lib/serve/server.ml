@@ -3,6 +3,7 @@ open Mt_core
 module Obs = Mt_obs.Obs
 module Hist = Mt_obs.Hist
 module Json = Mt_obs.Json
+module Series = Mt_obs.Series
 
 type queues = Shared | Per_worker of { steal : bool }
 
@@ -130,13 +131,16 @@ type result = {
   dequeue_log : (int * int) list;
 }
 
-let run ?cfg ?(obs = Obs.null) ~name ~setup ~op (c : config) =
+let run ?cfg ?(obs = Obs.null) ?make_policy ?series ~name ~setup ~op
+    (c : config) =
   let threads = c.workers + 1 in
   let cfg =
     match cfg with Some m -> m | None -> Config.default ~num_cores:threads ()
   in
   if cfg.Config.num_cores < threads then
     invalid_arg "Server.run: machine has fewer cores than workers + 1";
+  if series <> None && not (Obs.enabled obs) then
+    invalid_arg "Server.run: ?series needs a recording obs sink (retain:false ok)";
   let m = Machine.create ~obs cfg in
   let state = Harness.exec1 m ~seed:c.seed (fun ctx -> setup ctx) in
   let nq = match c.queues with Shared -> 1 | Per_worker _ -> c.workers in
@@ -172,7 +176,8 @@ let run ?cfg ?(obs = Obs.null) ~name ~setup ~op (c : config) =
       if Queue.try_enqueue q req then begin
         if Obs.enabled obs then
           Obs.emit obs ~core ~time:(Ctx.now ctx)
-            (Obs.Req_enqueue { queue = Queue.id q; depth = Queue.length q })
+            (Obs.Req_enqueue
+               { id = req.id; queue = Queue.id q; depth = Queue.length q })
       end
       else
         match c.admission with
@@ -183,12 +188,21 @@ let run ?cfg ?(obs = Obs.null) ~name ~setup ~op (c : config) =
               else min backoff_cap (backoff_base lsl req.attempts)
             in
             req.attempts <- req.attempts + 1;
+            if Obs.enabled obs then
+              Obs.emit obs ~core ~time:(Ctx.now ctx)
+                (Obs.Req_retry
+                   {
+                     id = req.id;
+                     attempt = req.attempts;
+                     cause = "queue-full";
+                   });
             Rheap.push heap (Ctx.now ctx + b) req
         | _ ->
             incr dropped;
             if Obs.enabled obs then
               Obs.emit obs ~core ~time:(Ctx.now ctx)
-                (Obs.Req_drop { queue = Queue.id q })
+                (Obs.Req_drop
+                   { id = req.id; queue = Queue.id q; cause = "queue-full" })
     in
     let next_arrival = ref (Arrival.next arr) in
     let next_id = ref 0 in
@@ -216,6 +230,9 @@ let run ?cfg ?(obs = Obs.null) ~name ~setup ~op (c : config) =
             incr next_id;
             incr generated;
             next_arrival := Arrival.next arr;
+            if Obs.enabled obs then
+              Obs.emit obs ~core ~time:req.arrival
+                (Obs.Req_arrive { id = req.id });
             attempt req
           end
           else attempt (Rheap.pop heap)
@@ -285,7 +302,8 @@ let run ?cfg ?(obs = Obs.null) ~name ~setup ~op (c : config) =
               if c.record_dequeues then dequeue_log := (qid, r.id) :: !dequeue_log;
               if Obs.enabled obs then
                 Obs.emit obs ~core:w ~time:t_dq
-                  (Obs.Req_dequeue { queue = qid; wait = t_dq - r.arrival }))
+                  (Obs.Req_dequeue
+                     { id = r.id; queue = qid; wait = t_dq - r.arrival }))
             batch;
           Ctx.work ctx c.dispatch_cycles;
           List.iter
@@ -295,19 +313,42 @@ let run ?cfg ?(obs = Obs.null) ~name ~setup ~op (c : config) =
                 Obs.emit obs ~core:w ~time:t0 (Obs.Span_begin { name });
               op ctx state r.payload;
               let t1 = Ctx.now ctx in
-              if Obs.enabled obs then
+              if Obs.enabled obs then begin
                 Obs.emit obs ~core:w ~time:t1 (Obs.Span_end { name });
+                Obs.emit obs ~core:w ~time:t1 (Obs.Req_commit { id = r.id })
+              end;
               Hist.add service (t1 - t0);
               Hist.add e2e (t1 - r.arrival);
               incr completed)
             batch
     done
   in
+  (* The series observes the serving phase only (the tap attaches after
+     setup; the counter baseline is the post-setup state); a custom policy
+     (fault injection) likewise drives only the serving phase. *)
+  let snap () = Stats.series_counters (Machine.total_stats m) in
+  (match series with
+  | Some s ->
+      Series.set_baseline s (snap ());
+      Obs.set_tap obs (Some (Series.feed s))
+  | None -> ());
+  let policy = Option.map (fun f -> f m) make_policy in
+  let tick =
+    Option.map
+      (fun s ->
+        (Series.window_cycles s, fun ~now -> Series.snapshot s ~time:now (snap ())))
+      series
+  in
   let duration =
-    Harness.exec m ~seed:c.seed ~threads (fun ctx ->
+    Harness.exec m ~seed:c.seed ?policy ?tick ~threads (fun ctx ->
         let core = Ctx.core ctx in
         if core = c.workers then arrival_fiber ctx else worker_fiber ctx core)
   in
+  (match series with
+  | Some s ->
+      Series.finish s ~time:duration (snap ());
+      Obs.set_tap obs None
+  | None -> ());
   let still_queued = Array.fold_left (fun a q -> a + Queue.length q) 0 qs in
   let max_depth = Array.fold_left (fun a q -> max a (Queue.max_depth q)) 0 qs in
   let rejects = Array.fold_left (fun a q -> a + Queue.rejects q) 0 qs in
@@ -340,8 +381,9 @@ let run ?cfg ?(obs = Obs.null) ~name ~setup ~op (c : config) =
     dequeue_log = List.rev !dequeue_log;
   }
 
-let run_set ?cfg ?obs ?(init_fill = 0.5) ?(insert_pct = 35) ?(delete_pct = 35)
-    (module S : Mt_list.Set_intf.SET) ~key_range (c : config) =
+let run_set ?cfg ?obs ?make_policy ?series ?(init_fill = 0.5)
+    ?(insert_pct = 35) ?(delete_pct = 35) (module S : Mt_list.Set_intf.SET)
+    ~key_range (c : config) =
   if key_range <= 0 then invalid_arg "Server.run_set: bad key_range";
   if insert_pct < 0 || delete_pct < 0 || insert_pct + delete_pct > 100 then
     invalid_arg "Server.run_set: bad operation mix";
@@ -360,7 +402,7 @@ let run_set ?cfg ?obs ?(init_fill = 0.5) ?(insert_pct = 35) ?(delete_pct = 35)
     else if r < insert_pct + delete_pct then ignore (S.delete ctx s k)
     else ignore (S.contains ctx s k)
   in
-  run ?cfg ?obs ~name:S.name ~setup ~op c
+  run ?cfg ?obs ?make_policy ?series ~name:S.name ~setup ~op c
 
 let queues_name = function
   | Shared -> "shared"

@@ -102,10 +102,22 @@ type result = {
 
     Requests are conserved: [generated = completed + dropped +
     still_queued] always holds, and [still_queued] is 0 because workers
-    drain the queues after arrivals stop. *)
+    drain the queues after arrivals stop.
+
+    Every request is a causal chain in the event stream — [Req_arrive] at
+    generation, [Req_enqueue]/[Req_retry]/[Req_drop] at admission,
+    [Req_dequeue] at pickup, [Req_commit] at completion, all carrying the
+    request id — which the trace exporter renders as Perfetto flow
+    arrows. [make_policy] builds a custom scheduling policy from the
+    machine (fault injection); [series] attaches windowed telemetry
+    ({!Mt_obs.Series}) to the serving phase (requires a recording [obs];
+    a [retain:false] sink works). Both apply to the serving phase only,
+    never setup. *)
 val run :
   ?cfg:Mt_sim.Config.t ->
   ?obs:Mt_obs.Obs.t ->
+  ?make_policy:(Mt_sim.Machine.t -> Mt_sim.Runtime.policy) ->
+  ?series:Mt_obs.Series.t ->
   name:string ->
   setup:(Mt_core.Ctx.t -> 'a) ->
   op:(Mt_core.Ctx.t -> 'a -> int -> unit) ->
@@ -120,6 +132,8 @@ val run :
 val run_set :
   ?cfg:Mt_sim.Config.t ->
   ?obs:Mt_obs.Obs.t ->
+  ?make_policy:(Mt_sim.Machine.t -> Mt_sim.Runtime.policy) ->
+  ?series:Mt_obs.Series.t ->
   ?init_fill:float ->
   ?insert_pct:int ->
   ?delete_pct:int ->

@@ -393,6 +393,11 @@ let validate t ~core:cid =
 
 let clear_tag_set t ~core:cid =
   let c = core t cid in
+  (* The bulk release ends the attempt's tag footprint in one step; the
+     event carries the live count so occupancy accounting stays exact. *)
+  (if on t then
+     let count = Memtag_unit.count c.tags in
+     if count > 0 then ev t c.id (Obs.Tag_clear { count }));
   Memtag_unit.clear c.tags;
   t.cfg.lat_tag_op
 

@@ -131,7 +131,7 @@ let drain_aborted t =
         try discontinue k Aborted with _ -> ())
   done
 
-let run ?(policy = default_policy) ?(obs = Mt_obs.Obs.null) t =
+let run ?(policy = default_policy) ?(obs = Mt_obs.Obs.null) ?tick t =
   (match current () with
   | Some _ -> invalid_arg "Runtime.run: a run is already active on this domain"
   | None -> ());
@@ -176,10 +176,27 @@ let run ?(policy = default_policy) ?(obs = Mt_obs.Obs.null) t =
     Domain.DLS.set last_clock_key t.clock;
     Domain.DLS.set current_key None
   in
+  (* Periodic scheduler hook: [f ~now:k*interval] fires once per window
+     boundary the clock reaches or crosses, in boundary order, from
+     scheduler context (between fibers — the callback must observe, not
+     stall). Boundaries the run never reaches do not fire. *)
+  let tick_interval, tick_fn =
+    match tick with
+    | None -> (0, fun ~now:_ -> ())
+    | Some (interval, f) ->
+        if interval <= 0 then invalid_arg "Runtime.run: tick interval";
+        (interval, f)
+  in
+  let next_tick = ref tick_interval in
   (try
      while not (Pqueue.is_empty t.ready) do
        let time, _tie, (tid, task) = Pqueue.pop_min t.ready in
        t.clock <- time;
+       if tick_interval > 0 then
+         while !next_tick <= time do
+           tick_fn ~now:!next_tick;
+           next_tick := !next_tick + tick_interval
+         done;
        t.current_fiber <- tid;
        if Mt_obs.Obs.enabled obs then
          Mt_obs.Obs.emit obs ~core:tid ~time Mt_obs.Obs.Fiber_resume;

@@ -89,8 +89,22 @@ val spawn : t -> (unit -> unit) -> unit
     the domain remain usable for subsequent runs. When [obs] is a
     recording sink, every scheduling step emits fiber stall/resume events
     onto the stalling fiber's core track (simulated timestamps only —
-    tracing never perturbs the schedule). *)
-val run : ?policy:policy -> ?obs:Mt_obs.Obs.t -> t -> unit
+    tracing never perturbs the schedule).
+
+    [tick] is a periodic scheduler hook [(interval, f)]: [f ~now:(k *
+    interval)] fires once for every boundary the simulated clock reaches
+    or crosses, in boundary order, from scheduler context between fiber
+    steps. The callback must only observe (snapshot counters, sample
+    state) — it runs outside any fiber and must not stall or spawn.
+    Boundaries beyond the final clock never fire; the window telemetry
+    layer closes the tail explicitly. Ticking never perturbs the
+    schedule. *)
+val run :
+  ?policy:policy ->
+  ?obs:Mt_obs.Obs.t ->
+  ?tick:int * (now:int -> unit) ->
+  t ->
+  unit
 
 (** [stall n] suspends the calling fiber for [n >= 0] simulated cycles.
     Must be called from within a fiber. *)

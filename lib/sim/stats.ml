@@ -111,6 +111,23 @@ let sum ts =
   Array.iter (fun t -> add acc t) ts;
   acc
 
+(* The counter shape the windowed telemetry layer snapshots at window
+   boundaries. [c_heat] matches the adversary's contention temperature
+   (Scenario.heat): failed validations + failed primitives + inbound
+   invalidations. *)
+let series_counters t : Mt_obs.Series.counters =
+  {
+    Mt_obs.Series.c_l1_hits = t.l1_hits;
+    c_l1_misses = t.l1_misses;
+    c_coherence_msgs = t.coherence_msgs;
+    c_invalidations = t.invalidations_received;
+    c_writebacks = t.writebacks;
+    c_tag_overflows = t.tag_overflows;
+    c_heat =
+      t.validate_failures + t.cas_failures + t.vas_failures + t.ias_failures
+      + t.invalidations_received;
+  }
+
 let l1_accesses t = t.l1_hits + t.l1_misses
 
 let l1_miss_rate t =

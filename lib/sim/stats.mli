@@ -43,6 +43,10 @@ val add : t -> t -> unit
 (** [sum ts] is a fresh aggregate of all counters. *)
 val sum : t array -> t
 
+(** Cumulative counters in the shape {!Mt_obs.Series} snapshots at window
+    boundaries; [c_heat] is the adversary's contention temperature. *)
+val series_counters : t -> Mt_obs.Series.counters
+
 (** Total L1 accesses (hits + misses). *)
 val l1_accesses : t -> int
 

@@ -3,6 +3,7 @@ open Mt_core
 module Obs = Mt_obs.Obs
 module Hist = Mt_obs.Hist
 module Json = Mt_obs.Json
+module Series = Mt_obs.Series
 
 type result = {
   impl : string;
@@ -21,18 +22,21 @@ type result = {
   stats : Stats.t;
 }
 
-let run_custom ?cfg ?(obs = Obs.null) ~name ~setup ~op (spec : Spec.t) =
+let run_custom ?cfg ?(obs = Obs.null) ?make_policy ?series ~name ~setup ~op
+    (spec : Spec.t) =
   let cfg =
     match cfg with Some c -> c | None -> Config.default ~num_cores:spec.threads ()
   in
   if cfg.Config.num_cores < spec.threads then
     invalid_arg "Driver: machine has fewer cores than spec threads";
+  if series <> None && not (Obs.enabled obs) then
+    invalid_arg "Driver: ?series needs a recording obs sink (retain:false ok)";
   let m = Machine.create ~obs cfg in
   let state = Harness.exec1 m ~seed:spec.seed (fun ctx -> setup ctx) in
   let counts = Array.make spec.threads 0 in
   let latency = Hist.create () in
-  let phase ~seed ~horizon ~record =
-    Harness.exec m ~seed ~threads:spec.threads (fun ctx ->
+  let phase ?policy ?tick ~seed ~horizon ~record () =
+    Harness.exec m ~seed ?policy ?tick ~threads:spec.threads (fun ctx ->
         let core = Ctx.core ctx in
         let ops = ref 0 in
         while Ctx.now ctx < horizon do
@@ -49,12 +53,35 @@ let run_custom ?cfg ?(obs = Obs.null) ~name ~setup ~op (spec : Spec.t) =
         if record then counts.(core) <- !ops)
   in
   let (_ : int) =
-    phase ~seed:(spec.seed + 17) ~horizon:spec.warmup_cycles ~record:false
+    phase ~seed:(spec.seed + 17) ~horizon:spec.warmup_cycles ~record:false ()
   in
   Machine.reset_stats m;
-  let duration =
-    phase ~seed:(spec.seed + 31) ~horizon:spec.measure_cycles ~record:true
+  (* The series observes the measured phase only: the tap attaches after
+     warmup and the counter baseline is the post-reset state. A custom
+     policy (fault injection) likewise only drives the measured phase —
+     one-shot squeeze pulses must not be consumed by warmup. *)
+  let snap () = Stats.series_counters (Machine.total_stats m) in
+  (match series with
+  | Some s ->
+      Series.set_baseline s (snap ());
+      Obs.set_tap obs (Some (Series.feed s))
+  | None -> ());
+  let policy = Option.map (fun f -> f m) make_policy in
+  let tick =
+    Option.map
+      (fun s ->
+        (Series.window_cycles s, fun ~now -> Series.snapshot s ~time:now (snap ())))
+      series
   in
+  let duration =
+    phase ?policy ?tick ~seed:(spec.seed + 31) ~horizon:spec.measure_cycles
+      ~record:true ()
+  in
+  (match series with
+  | Some s ->
+      Series.finish s ~time:duration (snap ());
+      Obs.set_tap obs None
+  | None -> ());
   let stats = Machine.total_stats m in
   let ops = Array.fold_left ( + ) 0 counts in
   let energy = Stats.energy cfg stats ~cycles:(duration * spec.threads) in
@@ -75,7 +102,8 @@ let run_custom ?cfg ?(obs = Obs.null) ~name ~setup ~op (spec : Spec.t) =
     stats;
   }
 
-let run_set ?cfg ?obs (module S : Mt_list.Set_intf.SET) (spec : Spec.t) =
+let run_set ?cfg ?obs ?make_policy ?series (module S : Mt_list.Set_intf.SET)
+    (spec : Spec.t) =
   let setup ctx =
     let s = S.create ctx in
     let g = Prng.create ~seed:(spec.seed + 1) in
@@ -92,7 +120,7 @@ let run_set ?cfg ?obs (module S : Mt_list.Set_intf.SET) (spec : Spec.t) =
     else if r < spec.insert_pct + spec.delete_pct then ignore (S.delete ctx s k)
     else ignore (S.contains ctx s k)
   in
-  run_custom ?cfg ?obs ~name:S.name ~setup ~op spec
+  run_custom ?cfg ?obs ?make_policy ?series ~name:S.name ~setup ~op spec
 
 let pp_result ppf r =
   Format.fprintf ppf

@@ -20,26 +20,42 @@ type result = {
   stats : Mt_sim.Stats.t;      (** full aggregated counters of the window *)
 }
 
-(** [run_set ?cfg ?obs set spec] builds a fresh machine (default config
-    sized to [spec.threads] cores unless [cfg] is given), populates the
-    structure, runs a warmup window, resets counters, and measures.
-    Deterministic in [spec.seed]. When [obs] is a recording sink it is
-    attached to the machine (all simulator events) and each logical
-    operation additionally appears as a span on its core's track. *)
+(** [run_set ?cfg ?obs ?make_policy ?series set spec] builds a fresh
+    machine (default config sized to [spec.threads] cores unless [cfg] is
+    given), populates the structure, runs a warmup window, resets
+    counters, and measures. Deterministic in [spec.seed]. When [obs] is a
+    recording sink it is attached to the machine (all simulator events)
+    and each logical operation additionally appears as a span on its
+    core's track.
+
+    [make_policy] builds a custom scheduling policy from the machine
+    (e.g. {!Mt_adversary.Scenario.make_policy} applied via a closure) —
+    it drives the {e measured} phase only, so one-shot fault pulses are
+    not consumed by warmup. [series] attaches windowed telemetry
+    ({!Mt_obs.Series}) to the measured phase: the event tap and counter
+    baseline are installed after warmup/reset, boundary snapshots fire
+    from a scheduler tick, and the tail window is closed at the final
+    clock. Requires a recording [obs] (a [retain:false] sink works — the
+    series reads the live stream, not the rings). *)
 val run_set :
   ?cfg:Mt_sim.Config.t ->
   ?obs:Mt_obs.Obs.t ->
+  ?make_policy:(Mt_sim.Machine.t -> Mt_sim.Runtime.policy) ->
+  ?series:Mt_obs.Series.t ->
   (module Mt_list.Set_intf.SET) ->
   Spec.t ->
   result
 
-(** [run_custom ?cfg ?obs ~name ~setup ~op spec] is the generic form used
-    by the STM/vacation benchmarks: [setup] builds the shared state on core
-    0; [op] performs one logical operation (given the per-thread
-    PRNG-equipped ctx and the state). *)
+(** [run_custom ?cfg ?obs ?make_policy ?series ~name ~setup ~op spec] is
+    the generic form used by the STM/vacation benchmarks: [setup] builds
+    the shared state on core 0; [op] performs one logical operation (given
+    the per-thread PRNG-equipped ctx and the state). Options as in
+    {!run_set}. *)
 val run_custom :
   ?cfg:Mt_sim.Config.t ->
   ?obs:Mt_obs.Obs.t ->
+  ?make_policy:(Mt_sim.Machine.t -> Mt_sim.Runtime.policy) ->
+  ?series:Mt_obs.Series.t ->
   name:string ->
   setup:(Mt_core.Ctx.t -> 'a) ->
   op:(Mt_core.Ctx.t -> 'a -> unit) ->
