@@ -5,13 +5,16 @@
 
    Usage:  dune exec bench/main.exe [-- fig2 fig5 fig6 fig7 fig8 spurious
                                         ablation micro latency timeline
-                                        summary quick
+                                        speed summary quick
                                         --jobs N --json FILE --note k=v]
 
    "latency" has no paper counterpart: it drives the open-loop service
    layer (lib/serve) over list/tree/STM backends, sweeping offered load
    across each backend's saturation knee and reporting goodput, drop rate
    and end-to-end tail latency (p50/p99/p99.9).
+   "speed" times the latency panel's phase-1 calibration against the
+   host's wall clock and reports simulated ops per wall-second (the
+   simulator's own speed; host-dependent, exported only under "notes").
    "timeline" runs a closed-loop and an open-loop scenario under an
    injected mid-run Max_Tags squeeze pulse with windowed telemetry
    (lib/obs Series) attached, exporting the per-window series as the
@@ -454,22 +457,23 @@ let serve_stm_backend ~range =
           c);
   }
 
+let serve_backends () =
+  [
+    serve_set_backend (module Mt_list.Hoh_list) ~range:list_range;
+    serve_set_backend (module Abtree_hoh) ~range:tree_range;
+    (* 512 keys: the transactional BST stays cache-resident, keeping the
+       STM backend in the same capacity class as the structures (a 4096
+       key map is memory-bound at ~25x the service time). *)
+    serve_stm_backend ~range:512;
+  ]
+
 let latency_rows : (string * float * Serve.result) list ref = ref []
 
 let latency () =
   print_endline
     "\n=== Offered-load sweep: open-loop service layer (goodput vs tail latency) ===";
   let horizon = if !quick then 60_000 else 120_000 in
-  let backends =
-    [
-      serve_set_backend (module Mt_list.Hoh_list) ~range:list_range;
-      serve_set_backend (module Abtree_hoh) ~range:tree_range;
-      (* 512 keys: the transactional BST stays cache-resident, keeping the
-         STM backend in the same capacity class as the structures (a 4096
-         key map is memory-bound at ~25x the service time). *)
-      serve_stm_backend ~range:512;
-    ]
-  in
+  let backends = serve_backends () in
   (* Phase 1: saturation capacity — offer far more than any backend can
      serve; goodput is then the service capacity of workers + batching. *)
   let cal_rate = 200.0 in
@@ -533,6 +537,39 @@ let latency () =
             "e2e p50"; "e2e p99"; "e2e p99.9" ]
         rows)
     backends
+
+(* ------------------------------------------------------------------ *)
+(* Wall-clock speed of the simulator itself: how many simulated requests
+   the host executes per wall-second on the BENCH_3 phase-1 calibration
+   microbench (all three serve backends saturated at 200 req/kcycle over
+   a 120k-cycle horizon, run sequentially on one domain so the number is
+   a single-core figure). Host-dependent by design — the result goes to
+   stdout and, with --json, under "notes", never into the deterministic
+   fields. *)
+
+let speed () =
+  print_endline
+    "\n=== Wall-clock speed: BENCH_3 calibration microbench (host-dependent) ===";
+  let horizon = 120_000 and rate = 200.0 in
+  let t0 = Unix.gettimeofday () in
+  let completed =
+    List.fold_left
+      (fun acc b -> acc + (b.sb_run ~rate ~horizon).Serve.completed)
+      0 (serve_backends ())
+  in
+  let dt = Unix.gettimeofday () -. t0 in
+  let ops_per_s = float_of_int completed /. dt in
+  Printf.printf
+    "  %d requests served in %.3f s wall — %.0f simulated ops/wall-second\n"
+    completed dt ops_per_s;
+  notes :=
+    !notes
+    @ [
+        ("speed_bench", "latency phase-1 calibration, rate=200, horizon=120k");
+        ("speed_requests", string_of_int completed);
+        ("speed_wall_s", Printf.sprintf "%.3f" dt);
+        ("speed_ops_per_wall_s", Printf.sprintf "%.0f" ops_per_s);
+      ]
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: host-level cost of the simulator's primitive
@@ -854,6 +891,7 @@ let () =
   if want "ablation" then ablation ();
   if want "latency" then latency ();
   if want "timeline" then timeline ();
+  if want "speed" then speed ();
   if want "micro" then micro ();
   if want "summary" then summary ();
   Option.iter export_json json_file;

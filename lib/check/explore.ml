@@ -74,6 +74,10 @@ let run ?(obs = Mt_obs.Obs.null) ?(hooks = default_hooks)
         done)
   in
   let final = S.to_list_unsafe m s in
+  (* Every fuzzed run ends with a structural MESI/directory audit, so a
+     cache or directory rewrite cannot silently break coherence even when
+     the history still linearizes. Raises Failure on violation. *)
+  Machine.check_coherence m;
   let history = History.events h in
   let verdict = Linearize.check_set ~init ~final history in
   { seed; history; init; final; duration; verdict }

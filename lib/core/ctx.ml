@@ -2,7 +2,13 @@ open Mt_sim
 
 type addr = Memory.addr
 
-type t = { machine : Machine.t; rt : Runtime.t; core : int; prng : Prng.t }
+type t = {
+  machine : Machine.t;
+  rt : Runtime.t;
+  core : int;
+  prng : Prng.t;
+  stats : Stats.t;  (* the core's counters, cached off the charge path *)
+}
 
 (* Fixed instruction cost of a heap allocation (bump allocator + header). *)
 let alloc_cycles = 8
@@ -10,7 +16,7 @@ let alloc_cycles = 8
 let make machine ~rt ~core ~prng =
   if core < 0 || core >= Machine.num_cores machine then
     invalid_arg "Ctx.make: core id out of range";
-  { machine; rt; core; prng }
+  { machine; rt; core; prng; stats = Machine.stats machine ~core }
 
 let machine t = t.machine
 let runtime t = t.rt
@@ -21,10 +27,12 @@ let now t = Runtime.clock t.rt
 
 let charge t lat =
   if lat > 0 then begin
-    (Machine.stats t.machine ~core:t.core).busy_cycles <-
-      (Machine.stats t.machine ~core:t.core).busy_cycles + lat;
-    Runtime.stall lat
+    t.stats.busy_cycles <- t.stats.busy_cycles + lat;
+    Runtime.stall_on t.rt lat
   end
+
+(* Charge the latency the machine just recorded for an operation. *)
+let[@inline] charge_last t = charge t (Machine.last_latency t.machine)
 
 let work t n = if n > 0 then charge t n
 
@@ -34,8 +42,8 @@ let alloc ?label t ~words =
   a
 
 let read t addr =
-  let v, lat = Machine.read t.machine ~core:t.core addr in
-  charge t lat;
+  let v = Machine.read t.machine ~core:t.core addr in
+  charge_last t;
   v
 
 let write t addr v =
@@ -43,13 +51,13 @@ let write t addr v =
   charge t lat
 
 let cas t addr ~expected ~desired =
-  let ok, lat = Machine.cas t.machine ~core:t.core addr ~expected ~desired in
-  charge t lat;
+  let ok = Machine.cas t.machine ~core:t.core addr ~expected ~desired in
+  charge_last t;
   ok
 
 let faa t addr delta =
-  let old, lat = Machine.faa t.machine ~core:t.core addr delta in
-  charge t lat;
+  let old = Machine.faa t.machine ~core:t.core addr delta in
+  charge_last t;
   old
 
 let add_tag t addr ~words =
@@ -57,8 +65,8 @@ let add_tag t addr ~words =
   charge t lat
 
 let add_tag_read t addr ~words =
-  let v, lat = Machine.add_tag_read t.machine ~core:t.core addr ~words in
-  charge t lat;
+  let v = Machine.add_tag_read t.machine ~core:t.core addr ~words in
+  charge_last t;
   v
 
 let remove_tag t addr ~words =
@@ -66,8 +74,8 @@ let remove_tag t addr ~words =
   charge t lat
 
 let validate t =
-  let ok, lat = Machine.validate t.machine ~core:t.core in
-  charge t lat;
+  let ok = Machine.validate t.machine ~core:t.core in
+  charge_last t;
   ok
 
 let clear_tag_set t =
@@ -75,13 +83,13 @@ let clear_tag_set t =
   charge t lat
 
 let vas t addr v =
-  let ok, lat = Machine.vas t.machine ~core:t.core addr v in
-  charge t lat;
+  let ok = Machine.vas t.machine ~core:t.core addr v in
+  charge_last t;
   ok
 
 let ias t addr v =
-  let ok, lat = Machine.ias t.machine ~core:t.core addr v in
-  charge t lat;
+  let ok = Machine.ias t.machine ~core:t.core addr v in
+  charge_last t;
   ok
 
 let tag_count t = Machine.tag_count t.machine ~core:t.core

@@ -1,90 +1,134 @@
 type state = I | S | E | M
 
-type way = { mutable line : int; mutable st : state; mutable lru : int }
-
+(* Flat parallel planes (DESIGN §12): slot [set * ways + way] of [lines]
+   holds the resident line (-1 when empty), [sts] its MESI state as an int
+   (0=I 1=S 2=E 3=M), [lrus] its LRU stamp from the global [tick]. No
+   per-way records to chase — a probe is a short scan over contiguous
+   ints, and the hot path addresses a hit by slot index so it never scans
+   twice. *)
 type t = {
   sets_log2 : int;
   ways : int;
-  sets : way array array;
+  lines : int array;
+  sts : int array;
+  lrus : int array;
   mutable tick : int;
 }
 
+let[@inline] int_of_st = function I -> 0 | S -> 1 | E -> 2 | M -> 3
+let[@inline] st_of_int = function 0 -> I | 1 -> S | 2 -> E | _ -> M
+
 let create ~sets_log2 ~ways =
   if sets_log2 < 0 || ways <= 0 then invalid_arg "Cache.create";
+  let slots = (1 lsl sets_log2) * ways in
   {
     sets_log2;
     ways;
-    sets =
-      Array.init (1 lsl sets_log2)
-        (fun _ -> Array.init ways (fun _ -> { line = -1; st = I; lru = 0 }));
+    lines = Array.make slots (-1);
+    sts = Array.make slots 0;
+    lrus = Array.make slots 0;
     tick = 0;
   }
 
-let set_of t line = t.sets.(line land ((1 lsl t.sets_log2) - 1))
+(* Hot slot-addressed interface ---------------------------------------- *)
 
-let find_way t line =
-  let set = set_of t line in
+(* Slot index of [line] if resident (state <> I), else -1. All slot
+   arithmetic stays within [lines] by construction, so the scans use
+   unchecked reads. *)
+let[@inline] probe t line =
+  let base = (line land ((1 lsl t.sets_log2) - 1)) * t.ways in
+  let lim = base + t.ways in
   let rec go i =
-    if i >= t.ways then None
-    else if set.(i).line = line && set.(i).st <> I then Some set.(i)
+    if i >= lim then -1
+    else if
+      Array.unsafe_get t.lines i = line && Array.unsafe_get t.sts i <> 0
+    then i
     else go (i + 1)
   in
-  go 0
+  go base
 
-let find t line = match find_way t line with None -> I | Some w -> w.st
+let[@inline] state_at t slot = st_of_int (Array.unsafe_get t.sts slot)
 
-let bump t w =
+let[@inline] bump t slot =
   t.tick <- t.tick + 1;
-  w.lru <- t.tick
+  Array.unsafe_set t.lrus slot t.tick
 
-let touch t line = match find_way t line with None -> () | Some w -> bump t w
+let[@inline] touch_at t slot = bump t slot
+
+(* [st] must not be [I] (removal goes through [remove]/[set_state]). *)
+let[@inline] set_state_at t slot st =
+  Array.unsafe_set t.sts slot (int_of_st st);
+  bump t slot
+
+(* Line-addressed interface -------------------------------------------- *)
+
+let find t line =
+  let slot = probe t line in
+  if slot < 0 then I else state_at t slot
+
+let touch t line =
+  let slot = probe t line in
+  if slot >= 0 then bump t slot
 
 let set_state t line st =
-  match find_way t line with
-  | None -> ()
-  | Some w ->
-      if st = I then begin
-        w.line <- -1;
-        w.st <- I
-      end
-      else begin
-        w.st <- st;
-        bump t w
-      end
-
-let insert t line st =
-  if st = I then invalid_arg "Cache.insert: cannot insert in state I";
-  assert (find t line = I);
-  let set = set_of t line in
-  (* Prefer an empty way; otherwise evict the LRU way. *)
-  let victim = ref set.(0) in
-  let empty = ref None in
-  for i = 0 to t.ways - 1 do
-    let w = set.(i) in
-    if w.st = I then (if !empty = None then empty := Some w)
-    else if w.lru < !victim.lru || !victim.st = I then victim := w
-  done;
-  match !empty with
-  | Some w ->
-      w.line <- line;
-      w.st <- st;
-      bump t w;
-      None
-  | None ->
-      let w = !victim in
-      let evicted = (w.line, w.st) in
-      w.line <- line;
-      w.st <- st;
-      bump t w;
-      Some evicted
+  let slot = probe t line in
+  if slot >= 0 then
+    if st = I then begin
+      t.lines.(slot) <- -1;
+      t.sts.(slot) <- 0
+    end
+    else begin
+      t.sts.(slot) <- int_of_st st;
+      bump t slot
+    end
 
 let remove t line = set_state t line I
 
+let insert t line st =
+  if st = I then invalid_arg "Cache.insert: cannot insert in state I";
+  if Debug.on () && find t line <> I then
+    invalid_arg "Cache.insert: line already resident";
+  let base = (line land ((1 lsl t.sets_log2) - 1)) * t.ways in
+  (* Prefer an empty way; otherwise evict the LRU way. LRU stamps are
+     drawn from the global tick, so non-empty stamps are distinct. *)
+  let victim = ref base in
+  let empty = ref (-1) in
+  for i = base to base + t.ways - 1 do
+    if Array.unsafe_get t.sts i = 0 then begin
+      if !empty < 0 then empty := i
+    end
+    else if
+      Array.unsafe_get t.lrus i < Array.unsafe_get t.lrus !victim
+      || Array.unsafe_get t.sts !victim = 0
+    then victim := i
+  done;
+  if !empty >= 0 then begin
+    let i = !empty in
+    t.lines.(i) <- line;
+    t.sts.(i) <- int_of_st st;
+    bump t i;
+    None
+  end
+  else begin
+    let i = !victim in
+    let evicted = (t.lines.(i), st_of_int t.sts.(i)) in
+    t.lines.(i) <- line;
+    t.sts.(i) <- int_of_st st;
+    bump t i;
+    Some evicted
+  end
+
+let iter t f =
+  for i = 0 to Array.length t.lines - 1 do
+    if t.sts.(i) <> 0 then f t.lines.(i) (st_of_int t.sts.(i))
+  done
+
 let population t =
-  Array.fold_left
-    (fun acc set ->
-      Array.fold_left (fun acc w -> if w.st <> I then acc + 1 else acc) acc set)
-    0 t.sets
+  let n = ref 0 in
+  for i = 0 to Array.length t.sts - 1 do
+    if t.sts.(i) <> 0 then incr n
+  done;
+  !n
 
 let pp_state ppf st =
   Format.pp_print_string ppf (match st with I -> "I" | S -> "S" | E -> "E" | M -> "M")

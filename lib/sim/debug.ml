@@ -1,0 +1,13 @@
+(* Global switch for the simulator's internal sanity checks (memory bounds
+   checks, cache insertion asserts). Off by default: the checks sit on the
+   per-access hot path and the fuzz/test harnesses — which hunt for the
+   bugs the checks would catch — turn them on explicitly. *)
+
+let enabled =
+  ref
+    (match Sys.getenv_opt "MEMTAG_DEBUG_CHECKS" with
+    | Some ("1" | "true" | "yes") -> true
+    | _ -> false)
+
+let set b = enabled := b
+let on () = !enabled

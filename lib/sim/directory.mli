@@ -2,7 +2,12 @@
 
     Tracks, for every cache line, which cores' private hierarchies hold it
     and whether one of them holds it exclusively ([E]/[M]). The directory is
-    the serialization point for coherence transactions. *)
+    the serialization point for coherence transactions.
+
+    Internally the sharer set is a flat per-line bitmask (two 32-bit planes,
+    cores 0–31 and 32–63) plus an exclusivity word, so the hot coherence
+    path never allocates (DESIGN §12). The [sharing] variant view below is
+    kept for tests and diagnostics. *)
 
 type sharing =
   | Uncached
@@ -20,7 +25,7 @@ val sharing : t -> int -> sharing
 val set : t -> int -> sharing -> unit
 
 (** [add_sharer t line core] transitions [Uncached -> Shared [core]] or adds
-    [core] to an existing sharer list. Raises [Invalid_argument] if the line
+    [core] to an existing sharer set. Raises [Invalid_argument] if the line
     is currently [Excl] of another core. *)
 val add_sharer : t -> int -> int -> unit
 
@@ -29,5 +34,35 @@ val add_sharer : t -> int -> int -> unit
 val drop : t -> int -> int -> unit
 
 (** [others t line core] lists every core other than [core] currently
-    holding the line. *)
+    holding the line, in ascending id order. Allocates; tests only — the
+    hot path uses {!iter_others}/{!others_count}. *)
 val others : t -> int -> int -> int list
+
+(** {2 Allocation-free accessors (hot path)} *)
+
+(** No core holds the line. *)
+val is_uncached : t -> int -> bool
+
+(** Owner core id if the line is held [E]/[M], else [-1]. *)
+val excl_owner : t -> int -> int
+
+val set_uncached : t -> int -> unit
+
+(** [set_excl t line core] makes [core] the sole (exclusive) holder. *)
+val set_excl : t -> int -> int -> unit
+
+(** [set_shared_pair t line a b] makes exactly [a] and [b] the (shared)
+    holders — the owner-downgrade transition on a read miss to an [Excl]
+    line. *)
+val set_shared_pair : t -> int -> int -> int -> unit
+
+(** Number of holders other than [core]. *)
+val others_count : t -> int -> int -> int
+
+(** [iter_others t line core f] calls [f] on every holder other than
+    [core], in ascending id order (the order [others] returns). *)
+val iter_others : t -> int -> int -> (int -> unit) -> unit
+
+(** [iter_lines t f] calls [f line] for every line with at least one
+    holder (coherence invariant checker; not on the hot path). *)
+val iter_lines : t -> (int -> unit) -> unit

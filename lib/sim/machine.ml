@@ -6,6 +6,7 @@ type core = {
   l2 : Cache.t;
   tags : Memtag_unit.t;
   stats : Stats.t;
+  mutable scratch : int array;  (* IAS line-sort buffer, grown on demand *)
 }
 
 type t = {
@@ -14,6 +15,7 @@ type t = {
   dir : Directory.t;
   cores : core array;
   obs : Obs.t;
+  mutable last_lat : int;
 }
 
 let create ?(obs = Obs.null) cfg =
@@ -29,14 +31,17 @@ let create ?(obs = Obs.null) cfg =
             l2 = Cache.create ~sets_log2:cfg.l2_sets_log2 ~ways:cfg.l2_ways;
             tags = Memtag_unit.create ~max_tags:cfg.max_tags;
             stats = Stats.create ();
+            scratch = Array.make cfg.max_tags 0;
           });
     obs;
+    last_lat = 0;
   }
 
 let cfg t = t.cfg
 let memory t = t.mem
 let num_cores t = Array.length t.cores
 let obs t = t.obs
+let last_latency t = t.last_lat
 
 (* Hook helper: every call site guards with [Obs.enabled] so a disabled
    sink never allocates an event. Timestamps are the simulated clock. *)
@@ -140,54 +145,66 @@ let inval_round_lat cfg n_sharers =
   if n_sharers = 0 then 0
   else cfg.Config.lat_inval + (cfg.Config.lat_inval_per_sharer * n_sharers)
 
-let upgrade_from_shared t c line =
-  let cfg = t.cfg in
-  let others = Directory.others t.dir line c.id in
-  List.iter
-    (fun o ->
+(* Invalidate every other holder; visits cores in ascending id order. The
+   count is taken before the sweep because [invalidate_remote] drops each
+   victim from the sharer mask as it goes. *)
+let invalidate_others t c line =
+  let n = Directory.others_count t.dir line c.id in
+  Directory.iter_others t.dir line c.id (fun o ->
       if on t then ev t c.id (Obs.Inval_sent { line; victim = o });
       invalidate_remote t o line;
-      c.stats.invalidations_sent <- c.stats.invalidations_sent + 1)
-    others;
-  Directory.set t.dir line (Directory.Excl c.id);
+      c.stats.invalidations_sent <- c.stats.invalidations_sent + 1);
+  n
+
+let upgrade_from_shared t c line =
+  let cfg = t.cfg in
+  let n = invalidate_others t c line in
+  Directory.set_excl t.dir line c.id;
   c.stats.coherence_msgs <- c.stats.coherence_msgs + 1;
-  cfg.lat_dir + inval_round_lat cfg (List.length others)
+  cfg.lat_dir + inval_round_lat cfg n
 
 let acquire t c line ~excl =
   let cfg = t.cfg in
-  match Cache.find c.l1 line with
-  | Cache.M ->
-      Cache.touch c.l1 line;
-      c.stats.l1_hits <- c.stats.l1_hits + 1;
-      cfg.lat_l1
-  | Cache.E ->
-      if excl then begin
-        (* silent E -> M promotion *)
-        Cache.set_state c.l1 line Cache.M;
-        Cache.set_state c.l2 line Cache.M
-      end
-      else Cache.touch c.l1 line;
-      c.stats.l1_hits <- c.stats.l1_hits + 1;
-      cfg.lat_l1
-  | Cache.S when not excl ->
-      Cache.touch c.l1 line;
-      c.stats.l1_hits <- c.stats.l1_hits + 1;
-      cfg.lat_l1
-  | Cache.S ->
-      (* S -> M upgrade: permission round through the directory. *)
-      c.stats.l1_hits <- c.stats.l1_hits + 1;
-      let lat = upgrade_from_shared t c line in
-      Cache.set_state c.l1 line Cache.M;
-      Cache.set_state c.l2 line Cache.M;
-      cfg.lat_l1 + lat
-  | Cache.I -> begin
+  let s1 = Cache.probe c.l1 line in
+  if s1 >= 0 then begin
+    (* L1 hit: the probed slot stays valid across the match (only remote
+       caches are touched by an upgrade round). *)
+    match Cache.state_at c.l1 s1 with
+    | Cache.M ->
+        Cache.touch_at c.l1 s1;
+        c.stats.l1_hits <- c.stats.l1_hits + 1;
+        cfg.lat_l1
+    | Cache.E ->
+        if excl then begin
+          (* silent E -> M promotion *)
+          Cache.set_state_at c.l1 s1 Cache.M;
+          Cache.set_state c.l2 line Cache.M
+        end
+        else Cache.touch_at c.l1 s1;
+        c.stats.l1_hits <- c.stats.l1_hits + 1;
+        cfg.lat_l1
+    | Cache.S when not excl ->
+        Cache.touch_at c.l1 s1;
+        c.stats.l1_hits <- c.stats.l1_hits + 1;
+        cfg.lat_l1
+    | Cache.S ->
+        (* S -> M upgrade: permission round through the directory. *)
+        c.stats.l1_hits <- c.stats.l1_hits + 1;
+        let lat = upgrade_from_shared t c line in
+        Cache.set_state_at c.l1 s1 Cache.M;
+        Cache.set_state c.l2 line Cache.M;
+        cfg.lat_l1 + lat
+    | Cache.I -> assert false
+  end
+  else begin
       c.stats.l1_misses <- c.stats.l1_misses + 1;
       if on t then ev t c.id (Obs.L1_miss { line });
-      match Cache.find c.l2 line with
+      let s2 = Cache.probe c.l2 line in
+      match (if s2 >= 0 then Cache.state_at c.l2 s2 else Cache.I) with
       | (Cache.M | Cache.E) as st2 ->
           c.stats.l2_hits <- c.stats.l2_hits + 1;
           let st = if excl then Cache.M else st2 in
-          if excl && st2 = Cache.E then Cache.set_state c.l2 line Cache.M;
+          if excl && st2 = Cache.E then Cache.set_state_at c.l2 s2 Cache.M;
           l1_insert t c line st;
           cfg.lat_l2
       | Cache.S when not excl ->
@@ -197,7 +214,7 @@ let acquire t c line ~excl =
       | Cache.S ->
           c.stats.l2_hits <- c.stats.l2_hits + 1;
           let lat = upgrade_from_shared t c line in
-          Cache.set_state c.l2 line Cache.M;
+          Cache.set_state_at c.l2 s2 Cache.M;
           l1_insert t c line Cache.M;
           cfg.lat_l2 + lat
       | Cache.I ->
@@ -205,61 +222,73 @@ let acquire t c line ~excl =
           c.stats.l2_misses <- c.stats.l2_misses + 1;
           c.stats.coherence_msgs <- c.stats.coherence_msgs + 1;
           if on t then ev t c.id (Obs.L2_miss { line });
-          let lat = ref cfg.lat_dir in
-          let st =
-            if excl then begin
-              (match Directory.sharing t.dir line with
-              | Directory.Uncached -> lat := !lat + cfg.lat_mem
-              | Directory.Excl o ->
-                  assert (o <> c.id);
+          if excl then begin
+            let xlat =
+              if Directory.is_uncached t.dir line then cfg.lat_mem
+              else begin
+                let o = Directory.excl_owner t.dir line in
+                if o >= 0 then begin
+                  if Debug.on () && o = c.id then
+                    invalid_arg "Machine.acquire: self-owned full miss";
                   if on t then ev t c.id (Obs.Inval_sent { line; victim = o });
                   invalidate_remote t o line;
                   c.stats.invalidations_sent <- c.stats.invalidations_sent + 1;
-                  lat := !lat + cfg.lat_remote
-              | Directory.Shared cores ->
-                  List.iter
-                    (fun o ->
-                      if on t then ev t c.id (Obs.Inval_sent { line; victim = o });
-                      invalidate_remote t o line;
-                      c.stats.invalidations_sent <- c.stats.invalidations_sent + 1)
-                    cores;
-                  lat := !lat + cfg.lat_mem + inval_round_lat cfg (List.length cores));
-              Directory.set t.dir line (Directory.Excl c.id);
-              Cache.M
+                  cfg.lat_remote
+                end
+                else begin
+                  let n = invalidate_others t c line in
+                  cfg.lat_mem + inval_round_lat cfg n
+                end
+              end
+            in
+            Directory.set_excl t.dir line c.id;
+            l2_insert t c line Cache.M;
+            l1_insert t c line Cache.M;
+            cfg.lat_dir + xlat
+          end
+          else if Directory.is_uncached t.dir line then begin
+            Directory.set_excl t.dir line c.id;
+            l2_insert t c line Cache.E;
+            l1_insert t c line Cache.E;
+            cfg.lat_dir + cfg.lat_mem
+          end
+          else begin
+            let o = Directory.excl_owner t.dir line in
+            if o >= 0 then begin
+              if Debug.on () && o = c.id then
+                invalid_arg "Machine.acquire: self-owned full miss";
+              downgrade_remote t o line;
+              Directory.set_shared_pair t.dir line o c.id;
+              l2_insert t c line Cache.S;
+              l1_insert t c line Cache.S;
+              cfg.lat_dir + cfg.lat_remote
             end
             else begin
-              match Directory.sharing t.dir line with
-              | Directory.Uncached ->
-                  Directory.set t.dir line (Directory.Excl c.id);
-                  lat := !lat + cfg.lat_mem;
-                  Cache.E
-              | Directory.Excl o ->
-                  assert (o <> c.id);
-                  downgrade_remote t o line;
-                  Directory.set t.dir line (Directory.Shared [ o; c.id ]);
-                  lat := !lat + cfg.lat_remote;
-                  Cache.S
-              | Directory.Shared cores ->
-                  Directory.set t.dir line (Directory.Shared (c.id :: cores));
-                  lat := !lat + cfg.lat_mem;
-                  Cache.S
+              Directory.add_sharer t.dir line c.id;
+              l2_insert t c line Cache.S;
+              l1_insert t c line Cache.S;
+              cfg.lat_dir + cfg.lat_mem
             end
-          in
-          l2_insert t c line st;
-          l1_insert t c line st;
-          !lat
+          end
     end
 
 (* Kill [line] at every other core that has it *tagged* (IAS invalidation
    step, tag-targeted variant). Returns the latency charged to the issuer:
    a directory interrogation plus one invalidation round if any remote
-   tagger existed. *)
+   tagger existed. Each probed tagger counts as a tag-directory probe
+   ([tag_probes_*]); [invalidations_sent/received] additionally count only
+   the probes that found — and killed — a cached copy, so the two counter
+   families separate "taggers interrogated" (what the latency formula
+   charges per sharer) from "copies invalidated". *)
 let invalidate_taggers t c line =
-  let hit = ref 0 in
-  Array.iter
-    (fun v ->
+  let n_cores = Array.length t.cores in
+  let rec go i hit =
+    if i >= n_cores then hit
+    else begin
+      let v = t.cores.(i) in
       if v.id <> c.id && Memtag_unit.is_tagged v.tags line then begin
-        incr hit;
+        c.stats.tag_probes_sent <- c.stats.tag_probes_sent + 1;
+        v.stats.tag_probes_received <- v.stats.tag_probes_received + 1;
         if Cache.find v.l2 line <> Cache.I || Cache.find v.l1 line <> Cache.I
         then begin
           if Cache.find v.l2 line = Cache.M then begin
@@ -278,11 +307,15 @@ let invalidate_taggers t c line =
         end;
         if on t && Memtag_unit.live v.tags line then
           ev t v.id (Obs.Tag_evict { line; conflict = true });
-        Memtag_unit.on_evict v.tags line Memtag_unit.Conflict
-      end)
-    t.cores;
+        Memtag_unit.on_evict v.tags line Memtag_unit.Conflict;
+        go (i + 1) (hit + 1)
+      end
+      else go (i + 1) hit
+    end
+  in
+  let hit = go 0 0 in
   c.stats.coherence_msgs <- c.stats.coherence_msgs + 1;
-  t.cfg.lat_dir + inval_round_lat t.cfg !hit
+  t.cfg.lat_dir + inval_round_lat t.cfg hit
 
 (* ------------------------------------------------------------------ *)
 (* Word-level operations.                                              *)
@@ -291,9 +324,9 @@ let line_of t addr = Config.line_of_addr t.cfg addr
 
 let read t ~core:cid addr =
   let c = core t cid in
-  let lat = acquire t c (line_of t addr) ~excl:false in
+  t.last_lat <- acquire t c (line_of t addr) ~excl:false;
   c.stats.loads <- c.stats.loads + 1;
-  (Memory.get t.mem addr, lat)
+  Memory.get t.mem addr
 
 let write t ~core:cid addr v =
   let c = core t cid in
@@ -302,71 +335,82 @@ let write t ~core:cid addr v =
   Memory.set t.mem addr v;
   (* The store buffer hides the miss from the pipeline; coherence side
      effects above still happened in full. *)
-  min lat t.cfg.lat_store_buffered
+  let lat = min lat t.cfg.lat_store_buffered in
+  t.last_lat <- lat;
+  lat
 
 let cas t ~core:cid addr ~expected ~desired =
   let c = core t cid in
-  let lat = acquire t c (line_of t addr) ~excl:true in
+  t.last_lat <- acquire t c (line_of t addr) ~excl:true;
   c.stats.cas_ops <- c.stats.cas_ops + 1;
   let old = Memory.get t.mem addr in
   if old = expected then begin
     Memory.set t.mem addr desired;
-    (true, lat)
+    true
   end
   else begin
     c.stats.cas_failures <- c.stats.cas_failures + 1;
-    (false, lat)
+    false
   end
 
 let faa t ~core:cid addr delta =
   let c = core t cid in
-  let lat = acquire t c (line_of t addr) ~excl:true in
+  t.last_lat <- acquire t c (line_of t addr) ~excl:true;
   let old = Memory.get t.mem addr in
   Memory.set t.mem addr (old + delta);
   c.stats.stores <- c.stats.stores + 1;
-  (old, lat)
+  old
 
 (* ------------------------------------------------------------------ *)
 (* MemTags operations.                                                 *)
 
+let check_range words =
+  if words <= 0 then invalid_arg "Machine: empty tag range"
+
+(* Tag every line of [first..last], fetching each with read rights. *)
+let rec tag_lines t c line last acc =
+  if line > last then acc
+  else begin
+    let l = acquire t c line ~excl:false in
+    Memtag_unit.add c.tags line;
+    c.stats.tag_adds <- c.stats.tag_adds + 1;
+    if on t then ev t c.id (Obs.Tag_add { line });
+    tag_lines t c (line + 1) last (acc + l + t.cfg.lat_tag_op)
+  end
+
 let add_tag t ~core:cid addr ~words =
+  check_range words;
   let c = core t cid in
-  let lines = Config.lines_of_range t.cfg addr words in
-  List.fold_left
-    (fun lat line ->
-      let l = acquire t c line ~excl:false in
-      Memtag_unit.add c.tags line;
-      c.stats.tag_adds <- c.stats.tag_adds + 1;
-      if on t then ev t c.id (Obs.Tag_add { line });
-      lat + l + t.cfg.lat_tag_op)
-    0 lines
+  let lat =
+    tag_lines t c (line_of t addr) (line_of t (addr + words - 1)) 0
+  in
+  t.last_lat <- lat;
+  lat
 
 let add_tag_read t ~core:cid addr ~words =
+  check_range words;
   let c = core t cid in
-  let lines = Config.lines_of_range t.cfg addr words in
-  let lat =
-    List.fold_left
-      (fun lat line ->
-        let l = acquire t c line ~excl:false in
-        Memtag_unit.add c.tags line;
-        c.stats.tag_adds <- c.stats.tag_adds + 1;
-        if on t then ev t c.id (Obs.Tag_add { line });
-        lat + l + t.cfg.lat_tag_op)
-      0 lines
-  in
+  t.last_lat <- tag_lines t c (line_of t addr) (line_of t (addr + words - 1)) 0;
   c.stats.loads <- c.stats.loads + 1;
-  (Memory.get t.mem addr, lat)
+  Memory.get t.mem addr
+
+let rec untag_lines t c line last acc =
+  if line > last then acc
+  else begin
+    Memtag_unit.remove c.tags line;
+    c.stats.tag_removes <- c.stats.tag_removes + 1;
+    if on t then ev t c.id (Obs.Tag_remove { line });
+    untag_lines t c (line + 1) last (acc + t.cfg.lat_tag_op)
+  end
 
 let remove_tag t ~core:cid addr ~words =
+  check_range words;
   let c = core t cid in
-  let lines = Config.lines_of_range t.cfg addr words in
-  List.fold_left
-    (fun lat line ->
-      Memtag_unit.remove c.tags line;
-      c.stats.tag_removes <- c.stats.tag_removes + 1;
-      if on t then ev t c.id (Obs.Tag_remove { line });
-      lat + t.cfg.lat_tag_op)
-    0 lines
+  let lat =
+    untag_lines t c (line_of t addr) (line_of t (addr + words - 1)) 0
+  in
+  t.last_lat <- lat;
+  lat
 
 let record_verdict t c (verdict : Memtag_unit.verdict) =
   c.stats.validates <- c.stats.validates + 1;
@@ -389,7 +433,8 @@ let record_verdict t c (verdict : Memtag_unit.verdict) =
 
 let validate t ~core:cid =
   let c = core t cid in
-  (record_verdict t c (Memtag_unit.check c.tags), t.cfg.lat_validate)
+  t.last_lat <- t.cfg.lat_validate;
+  record_verdict t c (Memtag_unit.check c.tags)
 
 let clear_tag_set t ~core:cid =
   let c = core t cid in
@@ -399,6 +444,7 @@ let clear_tag_set t ~core:cid =
      let count = Memtag_unit.count c.tags in
      if count > 0 then ev t c.id (Obs.Tag_clear { count }));
   Memtag_unit.clear c.tags;
+  t.last_lat <- t.cfg.lat_tag_op;
   t.cfg.lat_tag_op
 
 let tag_count t ~core:cid = Memtag_unit.count (core t cid).tags
@@ -417,23 +463,43 @@ let vas t ~core:cid addr v =
     (* Fail-fast: purely local, no coherence traffic at all. *)
     c.stats.vas_failures <- c.stats.vas_failures + 1;
     if on t then ev t c.id (Obs.Vas { ok = false });
-    (false, t.cfg.lat_validate)
+    t.last_lat <- t.cfg.lat_validate;
+    false
   end
   else begin
     let lat = acquire t c (line_of t addr) ~excl:true in
+    t.last_lat <- t.cfg.lat_validate + lat;
     (* The fill above may itself have capacity-evicted a tagged line, so
        re-check; own writes never evict own tags. *)
     if Memtag_unit.check c.tags <> Memtag_unit.Ok then begin
       c.stats.vas_failures <- c.stats.vas_failures + 1;
       if on t then ev t c.id (Obs.Vas { ok = false });
-      (false, t.cfg.lat_validate + lat)
+      false
     end
     else begin
       Memory.set t.mem addr v;
       if on t then ev t c.id (Obs.Vas { ok = true });
-      (true, t.cfg.lat_validate + lat)
+      true
     end
   end
+
+(* Sort the tracked lines ascending into [c.scratch] — the iteration order
+   the old sorted-list implementation used — and return the count. *)
+let sorted_tag_lines c =
+  let n = Memtag_unit.count c.tags in
+  if Array.length c.scratch < n then c.scratch <- Array.make (2 * n) 0;
+  let n = Memtag_unit.fill_lines c.tags c.scratch in
+  let a = c.scratch in
+  for i = 1 to n - 1 do
+    let x = a.(i) in
+    let j = ref (i - 1) in
+    while !j >= 0 && a.(!j) > x do
+      a.(!j + 1) <- a.(!j);
+      decr j
+    done;
+    a.(!j + 1) <- x
+  done;
+  n
 
 let ias t ~core:cid addr v =
   let c = core t cid in
@@ -441,37 +507,105 @@ let ias t ~core:cid addr v =
   if not (record_verdict t c (Memtag_unit.check c.tags)) then begin
     c.stats.ias_failures <- c.stats.ias_failures + 1;
     if on t then ev t c.id (Obs.Ias { ok = false });
-    (false, t.cfg.lat_validate)
+    t.last_lat <- t.cfg.lat_validate;
+    false
   end
   else begin
-    let lines = List.sort compare (Memtag_unit.lines c.tags) in
+    let n = sorted_tag_lines c in
     let target = line_of t addr in
-    let lat =
-      if t.cfg.ias_tag_targeted then
-        (* Minimal semantics: kill each tagged line only at cores that have
-           it tagged. Untagged sharers keep their (byte-identical) copies;
-           only the target line's write invalidates everyone. *)
-        List.fold_left
-          (fun lat line ->
-            if line = target then lat
-            else lat + invalidate_taggers t c line)
-          0 lines
-      else
-        (* Conservative implementation: elevate every tagged line to M. *)
-        List.fold_left
-          (fun lat line ->
-            if line = target then lat else lat + acquire t c line ~excl:true)
-          0 lines
+    let tag_targeted = t.cfg.ias_tag_targeted in
+    (* Tag-targeted semantics kill each tagged line only at cores that
+       have it tagged — untagged sharers keep their (byte-identical)
+       copies; only the target line's write invalidates everyone. The
+       conservative variant elevates every tagged line to M. *)
+    let rec kill i lat =
+      if i >= n then lat
+      else begin
+        let line = c.scratch.(i) in
+        if line = target then kill (i + 1) lat
+        else if tag_targeted then kill (i + 1) (lat + invalidate_taggers t c line)
+        else kill (i + 1) (lat + acquire t c line ~excl:true)
+      end
     in
-    let lat = lat + acquire t c target ~excl:true in
+    let lat = kill 0 0 + acquire t c target ~excl:true in
+    t.last_lat <- t.cfg.lat_validate + lat;
     if Memtag_unit.check c.tags <> Memtag_unit.Ok then begin
       c.stats.ias_failures <- c.stats.ias_failures + 1;
       if on t then ev t c.id (Obs.Ias { ok = false });
-      (false, t.cfg.lat_validate + lat)
+      false
     end
     else begin
       Memory.set t.mem addr v;
       if on t then ev t c.id (Obs.Ias { ok = true });
-      (true, t.cfg.lat_validate + lat)
+      true
     end
   end
+
+(* ------------------------------------------------------------------ *)
+(* Coherence invariant checker (tests and fuzzing; never on the hot     *)
+(* path).                                                              *)
+
+let check_coherence t =
+  let fail fmt = Printf.ksprintf failwith fmt in
+  let st_name = function
+    | Cache.I -> "I"
+    | Cache.S -> "S"
+    | Cache.E -> "E"
+    | Cache.M -> "M"
+  in
+  Array.iter
+    (fun c ->
+      (* Inclusion: every L1-resident line is L2-resident, in the same
+         state (fills propagate the L2 state; upgrades, promotions and
+         downgrades always touch both levels). *)
+      Cache.iter c.l1 (fun line st1 ->
+          let st2 = Cache.find c.l2 line in
+          if st2 = Cache.I then
+            fail "core %d: L1 holds line %d (%s) absent from L2" c.id line
+              (st_name st1);
+          if st2 <> st1 then
+            fail "core %d: line %d is %s in L1 but %s in L2" c.id line
+              (st_name st1) (st_name st2));
+      (* Every resident line is known to the directory, with matching
+         rights. Together with the directory pass below this also gives
+         M/E uniqueness: an M/E holder must be the directory's exclusive
+         owner, and Excl admits no other resident copy. *)
+      Cache.iter c.l2 (fun line st2 ->
+          match Directory.sharing t.dir line with
+          | Directory.Uncached ->
+              fail "core %d: holds line %d (%s) but directory says uncached"
+                c.id line (st_name st2)
+          | Directory.Excl o ->
+              if o <> c.id then
+                fail "core %d: holds line %d but directory owner is core %d"
+                  c.id line o;
+              if st2 = Cache.S then
+                fail "core %d: line %d is S in L2 but directory says Excl"
+                  c.id line
+          | Directory.Shared cores ->
+              if not (List.mem c.id cores) then
+                fail "core %d: holds line %d but is not in the sharer set"
+                  c.id line;
+              if st2 <> Cache.S then
+                fail "core %d: line %d is %s in L2 but directory says Shared"
+                  c.id line (st_name st2)))
+    t.cores;
+  (* The directory lists no phantom holders. *)
+  Directory.iter_lines t.dir (fun line ->
+      match Directory.sharing t.dir line with
+      | Directory.Uncached -> ()
+      | Directory.Excl o ->
+          if o < 0 || o >= Array.length t.cores then
+            fail "directory: line %d owned by bogus core %d" line o;
+          if Cache.find t.cores.(o).l2 line = Cache.I then
+            fail "directory: line %d Excl at core %d but not resident there"
+              line o
+      | Directory.Shared cores ->
+          List.iter
+            (fun o ->
+              if o < 0 || o >= Array.length t.cores then
+                fail "directory: line %d shared by bogus core %d" line o;
+              if Cache.find t.cores.(o).l2 line = Cache.I then
+                fail "directory: line %d shared at core %d but not resident there"
+                  line o)
+            cores)

@@ -23,5 +23,10 @@ val alloc : t -> words:int -> addr
 (** Number of words allocated so far (diagnostics). *)
 val allocated_words : t -> int
 
+(** Word read/write. Address validation (null, unallocated) is gated on
+    {!Debug.on}: with checks enabled an out-of-bounds access raises
+    [Invalid_argument]; with checks off (the default, for bench speed) the
+    access silently touches zero-filled backing store. *)
 val get : t -> addr -> int
+
 val set : t -> addr -> int -> unit

@@ -1,61 +1,171 @@
 type cause = Conflict | Capacity
 
-type entry = Tagged | Evicted of cause
+(* Open-addressed int table (DESIGN §12): one slot word per tracked line,
+   linear probing with tombstones. Slot encoding:
+
+     0                         empty
+     1                         tombstone
+     ((line+1) lsl 2) lor st   occupied; st: 0 Tagged, 1 Evicted Conflict,
+                                             2 Evicted Capacity
+
+   [line + 1 >= 1] keeps every occupied word >= 4, so line 0 can never
+   collide with the sentinels. [journal] records each slot that became
+   occupied since the last [clear], so [clear] zeroes O(inserts) slots
+   instead of the whole array. *)
+
+let st_tagged = 0
+let st_conflict = 1
+let st_capacity = 2
 
 type t = {
-  tbl : (int, entry) Hashtbl.t;
+  mutable slots : int array;        (* power-of-two length *)
+  mutable journal : int array;
+  mutable journal_len : int;
+  mutable len : int;                (* occupied slots (tagged or evicted) *)
+  mutable used : int;               (* occupied + tombstones *)
   mutable max_tags : int;
   mutable overflow : bool;
   mutable evicted_conflict : int;
   mutable evicted_capacity : int;
 }
 
+let initial_slots = 128
+
 let create ~max_tags =
   if max_tags <= 0 then invalid_arg "Memtag_unit.create: max_tags must be positive";
   {
-    tbl = Hashtbl.create 64;
+    slots = Array.make initial_slots 0;
+    journal = Array.make initial_slots 0;
+    journal_len = 0;
+    len = 0;
+    used = 0;
     max_tags;
     overflow = false;
     evicted_conflict = 0;
     evicted_capacity = 0;
   }
 
+let[@inline] hash line mask = (line * 0x9E3779B1) land mask
+
+(* Slot index of [line], or -1 if absent. *)
+let[@inline] find_slot t line =
+  let mask = Array.length t.slots - 1 in
+  let key = line + 1 in
+  let i = ref (hash line mask) in
+  let r = ref (-2) in
+  while !r = -2 do
+    let v = t.slots.(!i) in
+    if v = 0 then r := -1
+    else if v >= 4 && v lsr 2 = key then r := !i
+    else i := (!i + 1) land mask
+  done;
+  !r
+
+let journal_push t slot =
+  if t.journal_len = Array.length t.journal then begin
+    let j = Array.make (2 * t.journal_len) 0 in
+    Array.blit t.journal 0 j 0 t.journal_len;
+    t.journal <- j
+  end;
+  t.journal.(t.journal_len) <- slot;
+  t.journal_len <- t.journal_len + 1
+
+(* Rebuild without tombstones, doubling if the table is genuinely full. *)
+let rehash t =
+  let old = t.slots in
+  let cap = Array.length old in
+  let cap' = if t.len * 4 > cap then 2 * cap else cap in
+  t.slots <- Array.make cap' 0;
+  t.journal_len <- 0;
+  t.used <- t.len;
+  let mask = cap' - 1 in
+  Array.iter
+    (fun v ->
+      if v >= 4 then begin
+        let i = ref (hash (v lsr 2 - 1) mask) in
+        while t.slots.(!i) <> 0 do
+          i := (!i + 1) land mask
+        done;
+        t.slots.(!i) <- v;
+        journal_push t !i
+      end)
+    old
+
 let add t line =
-  match Hashtbl.find_opt t.tbl line with
-  | Some _ -> ()
-  | None ->
-      Hashtbl.replace t.tbl line Tagged;
-      if Hashtbl.length t.tbl > t.max_tags then t.overflow <- true
+  let mask = Array.length t.slots - 1 in
+  let key = line + 1 in
+  let i = ref (hash line mask) in
+  let tomb = ref (-1) in
+  let state = ref (-2) in
+  (* -2 probing; -1 absent (insert); >= 0 present *)
+  while !state = -2 do
+    let v = t.slots.(!i) in
+    if v = 0 then state := -1
+    else if v = 1 then begin
+      if !tomb < 0 then tomb := !i;
+      i := (!i + 1) land mask
+    end
+    else if v lsr 2 = key then state := v land 3
+    else i := (!i + 1) land mask
+  done;
+  if !state = -1 then begin
+    (if !tomb >= 0 then t.slots.(!tomb) <- key lsl 2
+     else begin
+       t.slots.(!i) <- key lsl 2;
+       t.used <- t.used + 1;
+       journal_push t !i
+     end);
+    t.len <- t.len + 1;
+    if t.len > t.max_tags then t.overflow <- true;
+    if 4 * (t.used + 1) > 3 * Array.length t.slots then rehash t
+  end
 
+(* Conflict evidence is sticky: a concurrent writer hit the line *while
+   the tag was held*, so the reads made under that tag may be torn
+   whether or not the tag is later withdrawn — [evicted_conflict] must
+   survive until [clear] (the next validation boundary). A capacity
+   record, by contrast, only predicts a *spurious* failure; removing the
+   tag withdraws the claim it was protecting, so that evidence is
+   dropped with the entry. *)
 let remove t line =
-  match Hashtbl.find_opt t.tbl line with
-  | None -> ()
-  | Some Tagged -> Hashtbl.remove t.tbl line
-  | Some (Evicted Conflict) ->
-      t.evicted_conflict <- t.evicted_conflict - 1;
-      Hashtbl.remove t.tbl line
-  | Some (Evicted Capacity) ->
-      t.evicted_capacity <- t.evicted_capacity - 1;
-      Hashtbl.remove t.tbl line
+  let i = find_slot t line in
+  if i >= 0 then begin
+    (match t.slots.(i) land 3 with
+    | 2 -> t.evicted_capacity <- t.evicted_capacity - 1
+    | _ -> ());
+    t.slots.(i) <- 1;
+    t.len <- t.len - 1
+  end
 
-let is_tagged t line = Hashtbl.mem t.tbl line
+let is_tagged t line = find_slot t line >= 0
 
-let live t line = Hashtbl.find_opt t.tbl line = Some Tagged
+let live t line =
+  let i = find_slot t line in
+  i >= 0 && t.slots.(i) land 3 = st_tagged
 
 let on_evict t line cause =
-  match Hashtbl.find_opt t.tbl line with
-  | None | Some (Evicted Conflict) -> ()
-  | Some (Evicted Capacity) ->
-      (* A conflict supersedes a capacity record: the failure is real. *)
-      if cause = Conflict then begin
-        t.evicted_capacity <- t.evicted_capacity - 1;
-        t.evicted_conflict <- t.evicted_conflict + 1;
-        Hashtbl.replace t.tbl line (Evicted Conflict)
-      end
-  | Some Tagged ->
-      Hashtbl.replace t.tbl line (Evicted cause);
-      if cause = Conflict then t.evicted_conflict <- t.evicted_conflict + 1
-      else t.evicted_capacity <- t.evicted_capacity + 1
+  let i = find_slot t line in
+  if i >= 0 then begin
+    let key_bits = t.slots.(i) land lnot 3 in
+    match t.slots.(i) land 3 with
+    | 1 (* Evicted Conflict *) -> ()
+    | 2 (* Evicted Capacity *) ->
+        (* A conflict supersedes a capacity record: the failure is real. *)
+        if cause = Conflict then begin
+          t.evicted_capacity <- t.evicted_capacity - 1;
+          t.evicted_conflict <- t.evicted_conflict + 1;
+          t.slots.(i) <- key_bits lor st_conflict
+        end
+    | _ (* Tagged *) ->
+        if cause = Conflict then begin
+          t.evicted_conflict <- t.evicted_conflict + 1;
+          t.slots.(i) <- key_bits lor st_conflict
+        end
+        else begin
+          t.evicted_capacity <- t.evicted_capacity + 1;
+          t.slots.(i) <- key_bits lor st_capacity
+        end
+  end
 
 type verdict = Ok | Fail_conflict | Fail_spurious
 
@@ -76,14 +186,39 @@ let max_tags t = t.max_tags
 let set_max_tags t n =
   if n <= 0 then invalid_arg "Memtag_unit.set_max_tags: must be positive";
   t.max_tags <- n;
-  if Hashtbl.length t.tbl > n then t.overflow <- true
+  if t.len > n then t.overflow <- true
 
-let count t = Hashtbl.length t.tbl
+let count t = t.len
 
 let clear t =
-  Hashtbl.reset t.tbl;
+  for k = 0 to t.journal_len - 1 do
+    t.slots.(t.journal.(k)) <- 0
+  done;
+  t.journal_len <- 0;
+  t.len <- 0;
+  t.used <- 0;
   t.overflow <- false;
   t.evicted_conflict <- 0;
   t.evicted_capacity <- 0
 
-let lines t = Hashtbl.fold (fun line _ acc -> line :: acc) t.tbl []
+let fill_lines t a =
+  let n = ref 0 in
+  for k = 0 to t.journal_len - 1 do
+    let v = t.slots.(t.journal.(k)) in
+    if v >= 4 then begin
+      a.(!n) <- (v lsr 2) - 1;
+      incr n
+    end
+  done;
+  !n
+
+let iter_lines t f =
+  for k = 0 to t.journal_len - 1 do
+    let v = t.slots.(t.journal.(k)) in
+    if v >= 4 then f (v lsr 2 - 1)
+  done
+
+let lines t =
+  let acc = ref [] in
+  iter_lines t (fun line -> acc := line :: !acc);
+  !acc

@@ -17,8 +17,14 @@ val create : max_tags:int -> t
     Sets the (latched) overflow flag when capacity is exceeded. *)
 val add : t -> int -> unit
 
-(** [remove t line] drops the line's entry entirely — including a pending
-    evicted record (see DESIGN.md for the rationale). No-op if untagged. *)
+(** [remove t line] drops the line's entry. Conflict evidence is {e
+    sticky}: if the line was already conflict-evicted, the recorded
+    conflict survives the removal and {!check} keeps returning
+    [Fail_conflict] until {!clear} — the remote write hit the line while
+    the tag was held, so reads made under it may be torn whether or not
+    the tag is later withdrawn. A pending [Capacity] record is dropped
+    with the entry (removing the tag withdraws the claim it protected,
+    so no spurious failure needs reporting). No-op if untagged. *)
 val remove : t -> int -> unit
 
 (** [is_tagged t line] is true if the line is currently tracked (tagged or
@@ -53,5 +59,15 @@ val max_tags : t -> int
 val set_max_tags : t -> int -> unit
 val clear : t -> unit
 
-(** Currently tracked lines (tagged or evicted), unordered. *)
+(** Currently tracked lines (tagged or evicted), unordered. Allocates;
+    the hot path uses {!iter_lines}. *)
 val lines : t -> int list
+
+(** [iter_lines t f] calls [f] on every tracked line (tagged or evicted),
+    in unspecified but deterministic order, without allocating. *)
+val iter_lines : t -> (int -> unit) -> unit
+
+(** [fill_lines t a] writes the tracked lines into [a] (which must have at
+    least {!count} slots) and returns how many were written — the
+    closure-free form of {!iter_lines} for the IAS hot path. *)
+val fill_lines : t -> int array -> int

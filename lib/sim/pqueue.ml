@@ -1,37 +1,81 @@
-type 'a entry = { time : int; tie : int; value : 'a }
+(* Parallel-plane binary min-heap (DESIGN §12). Keys live in one unboxed
+   interleaved int plane — entry [i] holds [time; tie; aux] at stride
+   [4 * i] (the stride is a power of two so slot addressing is a shift),
+   keeping a near-full scheduler heap inside a couple of cache lines.
+   Values live in an [Obj.t] plane so that [add] never allocates an entry
+   record. The comparison/swap sequence is exactly the classic sift-up /
+   sift-down of the previous record-based heap; keys are strict total
+   orders at every call site (ties embed the fiber id), so pop order —
+   and hence the whole simulation schedule — is a pure function of the
+   key multiset and none of the layout changes are observable.
 
-(* Slots hold [entry option] so vacated positions can be reset to [None]:
-   a popped entry (and whatever its value closes over — in the scheduler,
-   a whole fiber continuation) must not stay reachable through the array,
-   and [grow]/initial fill never pin an arbitrary live entry as filler. *)
-type 'a t = { mutable data : 'a entry option array; mutable size : int }
+   Vacated value slots are reset to [filler]: a popped value (in the
+   scheduler, a whole fiber continuation) must not stay reachable through
+   the array, and [grow] never pins an arbitrary live value as filler.
 
-let create () = { data = [||]; size = 0 }
+   Safety of [Obj]: the value plane only ever holds values of the heap's
+   ['a] (written by [add]/[add_aux]/[exchange], read back by [pop]/
+   [exchange]); [filler] is an immediate and is never returned. [Obj.repr
+   0] also keeps the plane a generic (non-float) array. Unchecked array
+   accesses are all at slots below [size], which both planes accommodate
+   by construction ([grow] keeps them in lockstep). *)
+
+type 'a t = {
+  mutable keys : int array;  (* stride 4: time, tie, aux, unused *)
+  mutable vals : Obj.t array;
+  mutable size : int;
+  mutable x_time : int;  (* key/aux of the last [exchange]d-out entry *)
+  mutable x_aux : int;
+}
+
+let filler = Obj.repr 0
+
+let create () = { keys = [||]; vals = [||]; size = 0; x_time = 0; x_aux = 0 }
 
 let is_empty t = t.size = 0
 let length t = t.size
 
-let less a b = a.time < b.time || (a.time = b.time && a.tie < b.tie)
+let[@inline] less t i j =
+  let k = t.keys in
+  let ti = Array.unsafe_get k (i lsl 2) and tj = Array.unsafe_get k (j lsl 2) in
+  ti < tj
+  || (ti = tj
+     && Array.unsafe_get k ((i lsl 2) + 1) < Array.unsafe_get k ((j lsl 2) + 1))
 
-let get t i =
-  match t.data.(i) with Some e -> e | None -> assert false
+let[@inline] swap t i j =
+  let k = t.keys in
+  let bi = i lsl 2 and bj = j lsl 2 in
+  let x = Array.unsafe_get k bi in
+  Array.unsafe_set k bi (Array.unsafe_get k bj);
+  Array.unsafe_set k bj x;
+  let x = Array.unsafe_get k (bi + 1) in
+  Array.unsafe_set k (bi + 1) (Array.unsafe_get k (bj + 1));
+  Array.unsafe_set k (bj + 1) x;
+  let x = Array.unsafe_get k (bi + 2) in
+  Array.unsafe_set k (bi + 2) (Array.unsafe_get k (bj + 2));
+  Array.unsafe_set k (bj + 2) x;
+  let v = t.vals in
+  let x = Array.unsafe_get v i in
+  Array.unsafe_set v i (Array.unsafe_get v j);
+  Array.unsafe_set v j x
 
 let grow t =
-  let cap = Array.length t.data in
+  let cap = Array.length t.vals in
   if t.size = cap then begin
     let ncap = max 16 (2 * cap) in
-    let data = Array.make ncap None in
-    Array.blit t.data 0 data 0 cap;
-    t.data <- data
+    let keys = Array.make (ncap lsl 2) 0 in
+    Array.blit t.keys 0 keys 0 (cap lsl 2);
+    t.keys <- keys;
+    let vals = Array.make ncap filler in
+    Array.blit t.vals 0 vals 0 cap;
+    t.vals <- vals
   end
 
 let rec sift_up t i =
   if i > 0 then begin
     let parent = (i - 1) / 2 in
-    if less (get t i) (get t parent) then begin
-      let tmp = t.data.(i) in
-      t.data.(i) <- t.data.(parent);
-      t.data.(parent) <- tmp;
+    if less t i parent then begin
+      swap t i parent;
       sift_up t parent
     end
   end
@@ -39,28 +83,69 @@ let rec sift_up t i =
 let rec sift_down t i =
   let l = (2 * i) + 1 and r = (2 * i) + 2 in
   let smallest = ref i in
-  if l < t.size && less (get t l) (get t !smallest) then smallest := l;
-  if r < t.size && less (get t r) (get t !smallest) then smallest := r;
+  if l < t.size && less t l !smallest then smallest := l;
+  if r < t.size && less t r !smallest then smallest := r;
   if !smallest <> i then begin
-    let tmp = t.data.(i) in
-    t.data.(i) <- t.data.(!smallest);
-    t.data.(!smallest) <- tmp;
+    swap t i !smallest;
     sift_down t !smallest
   end
 
-let add t ~time ~tie value =
+let add_aux t ~time ~tie ~aux value =
   grow t;
-  t.data.(t.size) <- Some { time; tie; value };
-  t.size <- t.size + 1;
-  sift_up t (t.size - 1)
+  let i = t.size in
+  let b = i lsl 2 in
+  t.keys.(b) <- time;
+  t.keys.(b + 1) <- tie;
+  t.keys.(b + 2) <- aux;
+  t.vals.(i) <- Obj.repr value;
+  t.size <- i + 1;
+  sift_up t i
+
+let add t ~time ~tie value = add_aux t ~time ~tie ~aux:0 value
+
+let top_time t = t.keys.(0)
+let top_tie t = t.keys.(1)
+let top_aux t = t.keys.(2)
+
+let pop (type a) (t : a t) : a =
+  if t.size = 0 then invalid_arg "Pqueue.pop: empty";
+  let v = t.vals.(0) in
+  let last = t.size - 1 in
+  t.size <- last;
+  let b = last lsl 2 in
+  t.keys.(0) <- t.keys.(b);
+  t.keys.(1) <- t.keys.(b + 1);
+  t.keys.(2) <- t.keys.(b + 2);
+  t.vals.(0) <- t.vals.(last);
+  t.vals.(last) <- filler;
+  sift_down t 0;
+  (Obj.obj v : a)
 
 let pop_min t =
   if t.size = 0 then invalid_arg "Pqueue.pop_min: empty";
-  let min = get t 0 in
-  t.size <- t.size - 1;
-  t.data.(0) <- t.data.(t.size);
-  t.data.(t.size) <- None;
-  sift_down t 0;
-  (min.time, min.tie, min.value)
+  let time = top_time t and tie = top_tie t in
+  let v = pop t in
+  (time, tie, v)
 
-let min_time t = if t.size = 0 then None else Some (get t 0).time
+(* Fused pop-then-add for the scheduler's suspension path: the incoming
+   key is ≥ the minimum's (that is exactly the slow-path condition), so
+   popping the root and sifting the new entry down from the root slot is
+   equivalent to [add_aux] followed by [pop] — one sift instead of two.
+   Keys form a strict total order, so the (possibly different) internal
+   arrangement is unobservable through pop order. *)
+let exchange (type a) (t : a t) ~time ~tie ~aux (value : a) : a =
+  if t.size = 0 then invalid_arg "Pqueue.exchange: empty";
+  let v = t.vals.(0) in
+  t.x_time <- t.keys.(0);
+  t.x_aux <- t.keys.(2);
+  t.keys.(0) <- time;
+  t.keys.(1) <- tie;
+  t.keys.(2) <- aux;
+  t.vals.(0) <- Obj.repr value;
+  sift_down t 0;
+  (Obj.obj v : a)
+
+let xchg_time t = t.x_time
+let xchg_aux t = t.x_aux
+
+let min_time t = if t.size = 0 then None else Some t.keys.(0)

@@ -75,8 +75,13 @@ val policy_name : policy -> string
 
 val create : unit -> t
 
-(** [spawn t body] registers a fiber. Fibers start at simulated time 0 in
-    spawn order. Must be called before {!run}. *)
+(** [spawn t body] registers a fiber. Fibers spawned before {!run} start
+    at simulated time 0 in spawn order. Spawning while [t] is running —
+    from a fiber or a tick callback of that same run — enqueues the new
+    fiber into the live schedule: it gets the next fiber id and starts at
+    the current simulated time (and, like any registered fiber, from time
+    0 in subsequent runs of the same [t]). Raises [Invalid_argument] if
+    [t] is running on a different domain. *)
 val spawn : t -> (unit -> unit) -> unit
 
 (** [run ?policy ?obs t] executes all fibers to completion under [policy]
@@ -109,6 +114,13 @@ val run :
 (** [stall n] suspends the calling fiber for [n >= 0] simulated cycles.
     Must be called from within a fiber. *)
 val stall : int -> unit
+
+(** [stall_on t n] is [stall n] resolving the runtime through [t] instead
+    of domain-local state — the hot path for code that already holds the
+    runtime it runs under (one lookup saved per simulated access). The
+    caller must be a fiber of [t]'s active run on the current domain;
+    passing any other runtime is undefined. *)
+val stall_on : t -> int -> unit
 
 (** [clock t] is [t]'s simulated clock: the current time while [t] is
     running, the final time of its last run otherwise. *)

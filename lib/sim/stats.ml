@@ -13,6 +13,8 @@ type t = {
   mutable l2_misses : int;
   mutable invalidations_sent : int;
   mutable invalidations_received : int;
+  mutable tag_probes_sent : int;
+  mutable tag_probes_received : int;
   mutable downgrades_received : int;
   mutable writebacks : int;
   mutable coherence_msgs : int;
@@ -41,6 +43,8 @@ let create () =
     l2_misses = 0;
     invalidations_sent = 0;
     invalidations_received = 0;
+    tag_probes_sent = 0;
+    tag_probes_received = 0;
     downgrades_received = 0;
     writebacks = 0;
     coherence_msgs = 0;
@@ -68,6 +72,8 @@ let reset t =
   t.l2_misses <- 0;
   t.invalidations_sent <- 0;
   t.invalidations_received <- 0;
+  t.tag_probes_sent <- 0;
+  t.tag_probes_received <- 0;
   t.downgrades_received <- 0;
   t.writebacks <- 0;
   t.coherence_msgs <- 0;
@@ -94,6 +100,8 @@ let add acc t =
   acc.l2_misses <- acc.l2_misses + t.l2_misses;
   acc.invalidations_sent <- acc.invalidations_sent + t.invalidations_sent;
   acc.invalidations_received <- acc.invalidations_received + t.invalidations_received;
+  acc.tag_probes_sent <- acc.tag_probes_sent + t.tag_probes_sent;
+  acc.tag_probes_received <- acc.tag_probes_received + t.tag_probes_received;
   acc.downgrades_received <- acc.downgrades_received + t.downgrades_received;
   acc.writebacks <- acc.writebacks + t.writebacks;
   acc.coherence_msgs <- acc.coherence_msgs + t.coherence_msgs;

@@ -19,6 +19,15 @@ type t = {
   mutable l2_misses : int;             (** accesses that went to the directory *)
   mutable invalidations_sent : int;    (** lines invalidated at remote cores *)
   mutable invalidations_received : int;
+  mutable tag_probes_sent : int;
+      (** remote tag units interrogated by this core's IAS invalidation
+          rounds — one per remote tagger probed, whether or not the victim
+          still held a cached copy. [lat_inval_per_sharer] is charged per
+          probe, so this is the counter the IAS latency formula follows;
+          [invalidations_sent] only counts probes that also killed a cached
+          copy. *)
+  mutable tag_probes_received : int;
+      (** IAS probes that reached this core's tag unit *)
   mutable downgrades_received : int;
   mutable writebacks : int;
   mutable coherence_msgs : int;        (** directory transactions + remote hops *)

@@ -1,0 +1,57 @@
+(* Allocation-budget gate (ISSUE 8): the simulator hot path is
+   allocation-free per simulated memory access, so a contended hoh-list
+   set operation — dozens of simulated accesses, tag ops and fiber
+   suspensions — must fit a small fixed byte budget. The workload is
+   deterministic and [Gc.allocated_bytes] counts exact allocation, so the
+   gate is wall-clock-free and stable on shared CI runners.
+
+   The steady-state budget pays for the op itself (locate's result tuple,
+   simulated node allocations) and ~2 words per suspending stall (the
+   effect continuation, ~110 of them per contended op) — about 2.2 kB/op
+   measured. What it must NOT pay for: per-access closures or hash
+   probes, boxed scheduler-queue entries, per-line list building in the
+   tag units — each of those regressions costs several hundred bytes per
+   op and trips the gate. Machine construction (~2.7 MB of flat arrays)
+   happens once, outside the measured window. *)
+
+open Mt_sim
+open Mt_core
+module L = Mt_list.Hoh_list
+
+let threads = 4
+let ops_per_thread = 500
+let budget_bytes_per_op = 3000.0
+
+let workload s ctx =
+  let g = Ctx.prng ctx in
+  for _ = 1 to ops_per_thread do
+    let k = Prng.int g 64 in
+    match Prng.int g 3 with
+    | 0 -> ignore (L.insert ctx s k)
+    | 1 -> ignore (L.delete ctx s k)
+    | _ -> ignore (L.contains ctx s k)
+  done
+
+let () =
+  let m = Machine.create (Config.default ~num_cores:threads ()) in
+  let s = Harness.exec1 m (fun ctx -> L.create ctx) in
+  Harness.exec1 m (fun ctx ->
+      for k = 0 to 31 do
+        ignore (L.insert ctx s (2 * k))
+      done);
+  (* Warmup run: pays one-time growth (simulated-memory chunks, tag-table
+     sizing, code paths); the measured run is steady-state. *)
+  ignore (Harness.exec m ~threads (workload s));
+  let before = Gc.allocated_bytes () in
+  ignore (Harness.exec m ~threads (workload s));
+  let per_op =
+    (Gc.allocated_bytes () -. before) /. float_of_int (threads * ops_per_thread)
+  in
+  Printf.printf "hoh-list allocation: %.1f bytes/op (budget %.0f)\n" per_op
+    budget_bytes_per_op;
+  if per_op > budget_bytes_per_op then begin
+    Printf.eprintf
+      "FAIL: %.1f bytes/op exceeds the %.0f-byte hot-path budget\n" per_op
+      budget_bytes_per_op;
+    exit 1
+  end

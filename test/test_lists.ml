@@ -111,9 +111,9 @@ let test_figure1_vas_would_miss_it () =
   let _ = Machine.add_tag m ~core:0 b ~words:1 in
   (* Deleter swings the pointer in a (the predecessor) via VAS. *)
   let _ = Machine.add_tag m ~core:1 a ~words:1 in
-  let ok, _ = Machine.vas m ~core:1 a 42 in
+  let ok = Machine.vas m ~core:1 a 42 in
   check_bool "vas ok" true ok;
-  let still_valid, _ = Machine.validate m ~core:0 in
+  let still_valid = Machine.validate m ~core:0 in
   check_bool "parked tag NOT invalidated by remote VAS elsewhere" true still_valid
 
 (* ------------------------------------------------------------------ *)

@@ -247,13 +247,24 @@ let test_tags_conflict_supersedes_capacity () =
   check_bool "upgraded to conflict" true
     (Memtag_unit.check u = Memtag_unit.Fail_conflict)
 
-let test_tags_remove_clears_eviction () =
+let test_tags_remove_keeps_conflict () =
   let u = Memtag_unit.create ~max_tags:4 in
   Memtag_unit.add u 1;
   Memtag_unit.add u 2;
   Memtag_unit.on_evict u 1 Memtag_unit.Conflict;
   Memtag_unit.remove u 1;
-  check_bool "untagged eviction forgotten" true (Memtag_unit.check u = Memtag_unit.Ok)
+  check_bool "conflict evidence sticky across remove" true
+    (Memtag_unit.check u = Memtag_unit.Fail_conflict);
+  Memtag_unit.clear u;
+  check_bool "clear resets the evidence" true
+    (Memtag_unit.check u = Memtag_unit.Ok);
+  (* Capacity evidence is not sticky: removing the tag withdraws the
+     claim it protected, so the spurious-failure record goes with it. *)
+  Memtag_unit.add u 3;
+  Memtag_unit.on_evict u 3 Memtag_unit.Capacity;
+  Memtag_unit.remove u 3;
+  check_bool "capacity evidence dropped by remove" true
+    (Memtag_unit.check u = Memtag_unit.Ok)
 
 let test_tags_overflow_latches () =
   let u = Memtag_unit.create ~max_tags:2 in
@@ -311,6 +322,25 @@ let test_runtime_now_final () =
   Runtime.spawn rt (fun () -> Runtime.stall 123);
   Runtime.run rt;
   check_int "final clock" 123 (Runtime.now ())
+
+(* ISSUE 8 regression: a fiber spawned while the run is live must join the
+   schedule (at the current simulated time) instead of being dropped. *)
+let test_runtime_spawn_mid_run () =
+  let order = ref [] in
+  let rt = Runtime.create () in
+  Runtime.spawn rt (fun () ->
+      order := 0 :: !order;
+      Runtime.spawn rt (fun () ->
+          order := 1 :: !order;
+          Runtime.stall 3;
+          order := 2 :: !order);
+      Runtime.stall 10;
+      order := 3 :: !order);
+  Runtime.run rt;
+  Alcotest.(check (list int))
+    "mid-run fiber runs, interleaved by simulated time" [ 0; 1; 2; 3 ]
+    (List.rev !order);
+  check_int "clock covers the late spawn" 10 (Runtime.now ())
 
 let test_runtime_exception_propagates () =
   let rt = Runtime.create () in
@@ -403,8 +433,10 @@ let test_machine_cold_then_hot_latency () =
   let m = machine () in
   let a = Machine.alloc m ~words:8 in
   let cfg = Machine.cfg m in
-  let _, lat_cold = Machine.read m ~core:0 a in
-  let _, lat_hot = Machine.read m ~core:0 a in
+  let _ = Machine.read m ~core:0 a in
+  let lat_cold = Machine.last_latency m in
+  let _ = Machine.read m ~core:0 a in
+  let lat_hot = Machine.last_latency m in
   check_int "cold read = dir + mem" (cfg.lat_dir + cfg.lat_mem) lat_cold;
   check_int "hot read = L1 hit" cfg.lat_l1 lat_hot
 
@@ -420,7 +452,7 @@ let test_machine_read_sharing () =
   check_int "core1 invalidated" 1 s1.invalidations_received;
   (* Re-read by core 0 misses again. *)
   let before = s0.l1_misses in
-  let v, _ = Machine.read m ~core:0 a in
+  let v = Machine.read m ~core:0 a in
   check_int "sees new value" 5 v;
   check_int "miss after invalidation" (before + 1) s0.l1_misses
 
@@ -430,12 +462,14 @@ let test_machine_dirty_transfer () =
   let cfg = Machine.cfg m in
   let _ = Machine.write m ~core:0 a 9 in
   (* Core 1 reads: dirty line is downgraded at core 0, not invalidated. *)
-  let v, lat = Machine.read m ~core:1 a in
+  let v = Machine.read m ~core:1 a in
+  let lat = Machine.last_latency m in
   check_int "dirty value visible" 9 v;
   check_int "remote transfer latency" (cfg.lat_dir + cfg.lat_remote) lat;
   check_int "downgrade received" 1 (Machine.stats m ~core:0).downgrades_received;
   (* Core 0 still hits locally afterwards. *)
-  let _, lat0 = Machine.read m ~core:0 a in
+  let _ = Machine.read m ~core:0 a in
+  let lat0 = Machine.last_latency m in
   check_int "still hits after downgrade" cfg.lat_l1 lat0
 
 let test_machine_upgrade_from_shared () =
@@ -455,9 +489,9 @@ let test_machine_upgrade_from_shared () =
 let test_machine_cas_semantics () =
   let m = machine () in
   let a = Machine.alloc m ~words:8 in
-  let ok, _ = Machine.cas m ~core:0 a ~expected:0 ~desired:5 in
+  let ok = Machine.cas m ~core:0 a ~expected:0 ~desired:5 in
   check_bool "cas succeeds" true ok;
-  let ok, _ = Machine.cas m ~core:1 a ~expected:0 ~desired:6 in
+  let ok = Machine.cas m ~core:1 a ~expected:0 ~desired:6 in
   check_bool "stale cas fails" false ok;
   check_int "value unchanged by failed cas" 5 (Machine.peek m a);
   check_int "failure counted" 1 (Machine.stats m ~core:1).cas_failures
@@ -465,8 +499,8 @@ let test_machine_cas_semantics () =
 let test_machine_faa () =
   let m = machine () in
   let a = Machine.alloc m ~words:8 in
-  let v0, _ = Machine.faa m ~core:0 a 3 in
-  let v1, _ = Machine.faa m ~core:1 a 4 in
+  let v0 = Machine.faa m ~core:0 a 3 in
+  let v1 = Machine.faa m ~core:1 a 4 in
   check_int "faa old 0" 0 v0;
   check_int "faa old 3" 3 v1;
   check_int "total" 7 (Machine.peek m a)
@@ -475,10 +509,10 @@ let test_machine_tag_validate_conflict () =
   let m = machine () in
   let a = Machine.alloc m ~words:8 in
   let _ = Machine.add_tag m ~core:0 a ~words:8 in
-  let ok, _ = Machine.validate m ~core:0 in
+  let ok = Machine.validate m ~core:0 in
   check_bool "valid before write" true ok;
   let _ = Machine.write m ~core:1 a 1 in
-  let ok, _ = Machine.validate m ~core:0 in
+  let ok = Machine.validate m ~core:0 in
   check_bool "invalid after remote write" false ok;
   check_int "not spurious" 0 (Machine.stats m ~core:0).validate_failures_spurious
 
@@ -487,7 +521,7 @@ let test_machine_tag_read_does_not_invalidate () =
   let a = Machine.alloc m ~words:8 in
   let _ = Machine.add_tag m ~core:0 a ~words:8 in
   let _ = Machine.read m ~core:1 a in
-  let ok, _ = Machine.validate m ~core:0 in
+  let ok = Machine.validate m ~core:0 in
   check_bool "remote read keeps tag valid" true ok
 
 let test_machine_own_write_keeps_tag () =
@@ -495,7 +529,7 @@ let test_machine_own_write_keeps_tag () =
   let a = Machine.alloc m ~words:8 in
   let _ = Machine.add_tag m ~core:0 a ~words:8 in
   let _ = Machine.write m ~core:0 a 3 in
-  let ok, _ = Machine.validate m ~core:0 in
+  let ok = Machine.validate m ~core:0 in
   check_bool "own write keeps own tag" true ok
 
 let test_machine_vas_fail_fast_no_traffic () =
@@ -505,7 +539,8 @@ let test_machine_vas_fail_fast_no_traffic () =
   let _ = Machine.add_tag m ~core:0 a ~words:8 in
   let _ = Machine.write m ~core:1 a 1 in
   let msgs_before = (Machine.stats m ~core:0).coherence_msgs in
-  let ok, lat = Machine.vas m ~core:0 b 42 in
+  let ok = Machine.vas m ~core:0 b 42 in
+  let lat = Machine.last_latency m in
   check_bool "vas fails" false ok;
   check_int "vas fail is local" (Machine.cfg m).lat_validate lat;
   check_int "no coherence traffic" msgs_before (Machine.stats m ~core:0).coherence_msgs;
@@ -515,7 +550,7 @@ let test_machine_vas_success_updates () =
   let m = machine () in
   let a = Machine.alloc m ~words:8 in
   let _ = Machine.add_tag m ~core:0 a ~words:8 in
-  let ok, _ = Machine.vas m ~core:0 a 42 in
+  let ok = Machine.vas m ~core:0 a 42 in
   check_bool "vas succeeds" true ok;
   check_int "value stored" 42 (Machine.peek m a)
 
@@ -524,9 +559,9 @@ let test_machine_vas_invalidates_remote_tags () =
   let a = Machine.alloc m ~words:8 in
   let _ = Machine.add_tag m ~core:1 a ~words:8 in
   let _ = Machine.add_tag m ~core:0 a ~words:8 in
-  let ok, _ = Machine.vas m ~core:0 a 1 in
+  let ok = Machine.vas m ~core:0 a 1 in
   check_bool "writer vas ok" true ok;
-  let ok1, _ = Machine.validate m ~core:1 in
+  let ok1 = Machine.validate m ~core:1 in
   check_bool "victim tag dead" false ok1
 
 let test_machine_ias_invalidates_all_tagged () =
@@ -538,10 +573,10 @@ let test_machine_ias_invalidates_all_tagged () =
   let _ = Machine.add_tag m ~core:1 b ~words:8 in
   let _ = Machine.add_tag m ~core:0 a ~words:8 in
   let _ = Machine.add_tag m ~core:0 b ~words:8 in
-  let ok, _ = Machine.ias m ~core:0 a 7 in
+  let ok = Machine.ias m ~core:0 a 7 in
   check_bool "ias ok" true ok;
   check_int "stored" 7 (Machine.peek m a);
-  let ok1, _ = Machine.validate m ~core:1 in
+  let ok1 = Machine.validate m ~core:1 in
   check_bool "remote tag on b invalidated" false ok1
 
 let test_machine_vas_does_not_invalidate_unrelated () =
@@ -553,9 +588,9 @@ let test_machine_vas_does_not_invalidate_unrelated () =
   let _ = Machine.add_tag m ~core:1 b ~words:8 in
   let _ = Machine.add_tag m ~core:0 a ~words:8 in
   let _ = Machine.add_tag m ~core:0 b ~words:8 in
-  let ok, _ = Machine.vas m ~core:0 a 7 in
+  let ok = Machine.vas m ~core:0 a 7 in
   check_bool "vas ok" true ok;
-  let ok1, _ = Machine.validate m ~core:1 in
+  let ok1 = Machine.validate m ~core:1 in
   check_bool "unrelated remote tag survives vas" true ok1
 
 let test_machine_tag_overflow () =
@@ -563,11 +598,11 @@ let test_machine_tag_overflow () =
   let m = Machine.create cfg in
   let addrs = List.init 5 (fun _ -> Machine.alloc m ~words:8) in
   List.iter (fun a -> ignore (Machine.add_tag m ~core:0 a ~words:1)) addrs;
-  let ok, _ = Machine.validate m ~core:0 in
+  let ok = Machine.validate m ~core:0 in
   check_bool "overflowed validation fails" false ok;
   check_int "spurious" 1 (Machine.stats m ~core:0).validate_failures_spurious;
   let _ = Machine.clear_tag_set m ~core:0 in
-  let ok, _ = Machine.validate m ~core:0 in
+  let ok = Machine.validate m ~core:0 in
   check_bool "clear resets" true ok
 
 let test_machine_capacity_eviction_spurious () =
@@ -582,7 +617,7 @@ let test_machine_capacity_eviction_spurious () =
     let a = Machine.alloc m ~words:8 in
     ignore (Machine.read m ~core:0 a)
   done;
-  let ok, _ = Machine.validate m ~core:0 in
+  let ok = Machine.validate m ~core:0 in
   check_bool "capacity eviction fails validation" false ok;
   check_int "classified spurious" 1
     (Machine.stats m ~core:0).validate_failures_spurious
@@ -605,7 +640,7 @@ let test_machine_l2_inclusion_back_invalidates () =
     let b = Machine.alloc m ~words:8 in
     ignore (Machine.read m ~core:0 b)
   done;
-  let ok, _ = Machine.validate m ~core:0 in
+  let ok = Machine.validate m ~core:0 in
   check_bool "inclusion victim kills tag" false ok
 
 let test_machine_remove_tag_then_conflict_ok () =
@@ -616,8 +651,52 @@ let test_machine_remove_tag_then_conflict_ok () =
   let _ = Machine.add_tag m ~core:0 b ~words:1 in
   let _ = Machine.remove_tag m ~core:0 a ~words:1 in
   let _ = Machine.write m ~core:1 a 1 in
-  let ok, _ = Machine.validate m ~core:0 in
+  let ok = Machine.validate m ~core:0 in
   check_bool "conflict on untagged line ignored" true ok
+
+(* ISSUE 8 regression: a conflict recorded while the tag was held must
+   survive a subsequent remove_tag — the reads made under that tag may be
+   torn, so validation must still fail (and fail as a real conflict). *)
+let test_machine_conflict_survives_remove_tag () =
+  let m = machine () in
+  let a = Machine.alloc m ~words:8 in
+  let _ = Machine.add_tag m ~core:0 a ~words:1 in
+  let _ = Machine.write m ~core:1 a 1 in
+  let _ = Machine.remove_tag m ~core:0 a ~words:1 in
+  let ok = Machine.validate m ~core:0 in
+  check_bool "conflict evidence survives remove" false ok;
+  let s = Machine.stats m ~core:0 in
+  check_int "classified real, not spurious" 0 s.validate_failures_spurious;
+  check_int "one failed validation" 1 s.validate_failures
+
+(* ISSUE 8 regression: the tag-targeted IAS kill probes every remote
+   tagger (that is what the latency formula charges) but only taggers
+   still holding a cached copy receive a real invalidation — the two must
+   be accounted separately so message and latency books agree. *)
+let test_machine_tag_probe_stats () =
+  let m = machine ~cores:2 () in
+  let a = Machine.alloc m ~words:8 in
+  let b = Machine.alloc m ~words:8 in
+  let _ = Machine.add_tag m ~core:0 a ~words:1 in
+  let _ = Machine.add_tag m ~core:0 b ~words:1 in
+  let _ = Machine.add_tag m ~core:1 b ~words:1 in
+  (* Kill of the non-target tagged line [b] finds core 1 tagged *and*
+     cached: one probe, one real invalidation. *)
+  check_bool "first ias commits" true (Machine.ias m ~core:0 a 1);
+  let s0 = Machine.stats m ~core:0 and s1 = Machine.stats m ~core:1 in
+  check_int "probe sent (cached tagger)" 1 s0.tag_probes_sent;
+  check_int "probe received (cached tagger)" 1 s1.tag_probes_received;
+  check_int "invalidation sent" 1 s0.invalidations_sent;
+  check_int "invalidation received" 1 s1.invalidations_received;
+  (* Core 1 lost its copy but keeps the (conflict-evicted) tag entry, so
+     a second kill probes it again — with no copy left to invalidate the
+     probe must not be booked as an invalidation. *)
+  check_bool "second ias commits" true (Machine.ias m ~core:0 a 2);
+  let s0 = Machine.stats m ~core:0 and s1 = Machine.stats m ~core:1 in
+  check_int "second probe sent (uncached tagger)" 2 s0.tag_probes_sent;
+  check_int "second probe received (uncached tagger)" 2 s1.tag_probes_received;
+  check_int "no extra invalidation sent" 1 s0.invalidations_sent;
+  check_int "no extra invalidation received" 1 s1.invalidations_received
 
 (* Property: a random mix of reads/writes through the machine always
    matches a plain shadow array (the timing model must never corrupt
@@ -634,7 +713,7 @@ let prop_machine_matches_shadow =
         (fun (core, off, v) ->
           match Prng.int g 3 with
           | 0 ->
-              let got, _ = Machine.read m ~core (base + off) in
+              let got = Machine.read m ~core (base + off) in
               got = shadow.(off)
           | 1 ->
               let _ = Machine.write m ~core (base + off) v in
@@ -642,7 +721,7 @@ let prop_machine_matches_shadow =
               true
           | _ ->
               let expected = shadow.(off) in
-              let ok, _ = Machine.cas m ~core (base + off) ~expected ~desired:v in
+              let ok = Machine.cas m ~core (base + off) ~expected ~desired:v in
               if ok then shadow.(off) <- v;
               ok)
         ops)
@@ -669,10 +748,33 @@ let prop_machine_coherence_invariant =
           let expect = Machine.peek m a in
           List.for_all
             (fun core ->
-              let v, _ = Machine.read m ~core a in
+              let v = Machine.read m ~core a in
               v = expect)
             [ 0; 1; 2; 3 ])
         (List.init 32 (fun i -> i)))
+
+(* ISSUE 8: the flat-array directory/cache rewrite must uphold the MESI
+   invariants structurally, not just behaviourally — run the machine's own
+   checker (L1 ⊆ L2 inclusion, single M/E owner, exact sharer sets) after
+   every operation of a random read/write/tag/untag sequence. *)
+let prop_machine_check_coherence =
+  QCheck.Test.make ~name:"MESI/directory invariants hold" ~count:100
+    QCheck.(list (tup3 (int_bound 3) (int_bound 31) (int_bound 4)))
+    (fun ops ->
+      let m = machine () in
+      let base = Machine.alloc m ~words:256 in
+      List.iter
+        (fun (core, line_off, kind) ->
+          let a = base + (8 * line_off) in
+          (match kind with
+          | 0 -> ignore (Machine.read m ~core a)
+          | 1 -> ignore (Machine.write m ~core a 1)
+          | 2 -> ignore (Machine.add_tag m ~core a ~words:1)
+          | 3 -> ignore (Machine.remove_tag m ~core a ~words:1)
+          | _ -> ignore (Machine.validate m ~core));
+          Machine.check_coherence m)
+        ops;
+      true)
 
 (* ------------------------------------------------------------------ *)
 (* Harness / Ctx *)
@@ -736,7 +838,7 @@ let test_mode_flip_invalidates_taggers () =
   let mode = Mt_core.Mode.create m in
   let _ = Machine.add_tag m ~core:0 (Mt_core.Mode.addr mode) ~words:1 in
   let _ = Machine.write m ~core:1 (Mt_core.Mode.addr mode) Mt_core.Mode.slow in
-  let ok, _ = Machine.validate m ~core:0 in
+  let ok = Machine.validate m ~core:0 in
   check_bool "fast-path tagger aborted by mode flip" false ok
 
 (* ------------------------------------------------------------------ *)
@@ -757,7 +859,8 @@ let test_store_buffer_cap () =
   let wlat = Machine.write m ~core:0 a 1 in
   check_bool "store capped" true (wlat <= cfg.lat_store_buffered);
   share ();
-  let _, clat = Machine.cas m ~core:0 a ~expected:1 ~desired:2 in
+  let _ = Machine.cas m ~core:0 a ~expected:1 ~desired:2 in
+  let clat = Machine.last_latency m in
   check_bool "cas uncapped" true (clat > cfg.lat_store_buffered)
 
 let test_inval_latency_scales_with_sharers () =
@@ -768,7 +871,8 @@ let test_inval_latency_scales_with_sharers () =
       ignore (Machine.read m ~core a)
     done;
     (* CAS so the latency is not store-buffer capped. *)
-    let _, lat = Machine.cas m ~core:0 a ~expected:0 ~desired:1 in
+    let _ = Machine.cas m ~core:0 a ~expected:0 ~desired:1 in
+    let lat = Machine.last_latency m in
     lat
   in
   check_bool "3 sharers cost more than 1" true (lat_with_sharers 3 > lat_with_sharers 1)
@@ -780,10 +884,10 @@ let test_downgrade_keeps_tag_but_write_kills_it () =
   (* Line is M at core 0; tag it, then have core 1 read (downgrade). *)
   let _ = Machine.add_tag m ~core:0 a ~words:1 in
   let _ = Machine.read m ~core:1 a in
-  let ok, _ = Machine.validate m ~core:0 in
+  let ok = Machine.validate m ~core:0 in
   check_bool "downgrade keeps tag" true ok;
   let _ = Machine.write m ~core:1 a 6 in
-  let ok, _ = Machine.validate m ~core:0 in
+  let ok = Machine.validate m ~core:0 in
   check_bool "subsequent write kills it" false ok
 
 let test_ias_self_only_tags () =
@@ -792,7 +896,7 @@ let test_ias_self_only_tags () =
   let a = Machine.alloc m ~words:8 in
   let _ = Machine.write m ~core:0 a 1 in
   let _ = Machine.add_tag m ~core:0 a ~words:1 in
-  let ok, _ = Machine.ias m ~core:0 a 2 in
+  let ok = Machine.ias m ~core:0 a 2 in
   check_bool "ias ok" true ok;
   check_int "stored" 2 (Machine.peek m a)
 
@@ -800,10 +904,10 @@ let test_add_tag_read_equals_read_plus_tag () =
   let m = machine () in
   let a = Machine.alloc m ~words:8 in
   Machine.poke m a 7;
-  let v, _ = Machine.add_tag_read m ~core:0 a ~words:1 in
+  let v = Machine.add_tag_read m ~core:0 a ~words:1 in
   check_int "tagged load returns value" 7 v;
   let _ = Machine.write m ~core:1 a 8 in
-  let ok, _ = Machine.validate m ~core:0 in
+  let ok = Machine.validate m ~core:0 in
   check_bool "line was really tagged" false ok
 
 let test_lines_of_range_spanning () =
@@ -841,6 +945,9 @@ let prop_prng_int_uniformish =
 let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
 
 let () =
+  (* The simulator's internal sanity checks (memory bounds, cache insert
+     preconditions) are debug-gated off the hot path; the tests want them. *)
+  Debug.set true;
   Alcotest.run "mt_sim"
     [
       ( "prng",
@@ -883,7 +990,8 @@ let () =
           Alcotest.test_case "capacity spurious" `Quick test_tags_capacity_is_spurious;
           Alcotest.test_case "conflict supersedes" `Quick
             test_tags_conflict_supersedes_capacity;
-          Alcotest.test_case "remove clears" `Quick test_tags_remove_clears_eviction;
+          Alcotest.test_case "remove keeps conflict" `Quick
+            test_tags_remove_keeps_conflict;
           Alcotest.test_case "overflow latches" `Quick test_tags_overflow_latches;
           Alcotest.test_case "untagged ignored" `Quick
             test_tags_untagged_eviction_ignored;
@@ -893,6 +1001,7 @@ let () =
           Alcotest.test_case "interleaving" `Quick test_runtime_interleaving;
           Alcotest.test_case "tie break" `Quick test_runtime_tie_break_by_tid;
           Alcotest.test_case "final now" `Quick test_runtime_now_final;
+          Alcotest.test_case "spawn mid-run" `Quick test_runtime_spawn_mid_run;
           Alcotest.test_case "exceptions" `Quick test_runtime_exception_propagates;
           Alcotest.test_case "abort runs finalizers" `Quick
             test_runtime_abort_runs_finalizers;
@@ -936,8 +1045,17 @@ let () =
             test_machine_l2_inclusion_back_invalidates;
           Alcotest.test_case "remove then conflict" `Quick
             test_machine_remove_tag_then_conflict_ok;
+          Alcotest.test_case "conflict survives remove" `Quick
+            test_machine_conflict_survives_remove_tag;
+          Alcotest.test_case "tag probe accounting" `Quick
+            test_machine_tag_probe_stats;
         ]
-        @ qsuite [ prop_machine_matches_shadow; prop_machine_coherence_invariant ] );
+        @ qsuite
+            [
+              prop_machine_matches_shadow;
+              prop_machine_coherence_invariant;
+              prop_machine_check_coherence;
+            ] );
       ( "model-edges",
         [
           Alcotest.test_case "store buffer cap" `Quick test_store_buffer_cap;
