@@ -4,7 +4,7 @@
    micro-benchmarks of the primitive operations.
 
    Usage:  dune exec bench/main.exe [-- fig2 fig5 fig6 fig7 fig8 spurious
-                                        ablation micro latency timeline
+                                        ablation micro latency store timeline
                                         speed summary quick
                                         --jobs N --json FILE --note k=v]
 
@@ -12,6 +12,9 @@
    layer (lib/serve) over list/tree/STM backends, sweeping offered load
    across each backend's saturation knee and reporting goodput, drop rate
    and end-to-end tail latency (p50/p99/p99.9).
+   "store" drives the sharded multi-structure store (lib/store) through
+   the same open-loop serve layer under point/txn/scan request-kind
+   mixes, one saturation curve per backend x mix.
    "speed" times the latency panel's phase-1 calibration against the
    host's wall clock and reports simulated ops per wall-second (the
    simulator's own speed; host-dependent, exported only under "notes").
@@ -539,6 +542,132 @@ let latency () =
     backends
 
 (* ------------------------------------------------------------------ *)
+(* Sharded store: saturation curves per request-kind mix per backend.
+   The serve layer drives the sharded multi-structure store (lib/store)
+   with a point/txn/scan request mix; each backend × mix combination is
+   calibrated like the latency panel and then offered multiples of its
+   measured capacity. Store counters (txn commit/abort, scan validation
+   fallbacks, per-shard routing imbalance) ride along with each point.
+   No paper counterpart (the paper has no multi-shard evaluation). *)
+
+module Store = Mt_store.Store
+module Store_serve = Mt_store.Store_serve
+module Store_backend = Mt_store.Backend
+
+let store_shards = 4
+
+let store_mixes =
+  [
+    Store_serve.mix ~point_pct:90 ~txn_pct:5;
+    Store_serve.mix ~point_pct:60 ~txn_pct:30;
+    Store_serve.mix ~point_pct:50 ~txn_pct:20;
+  ]
+
+let store_backend_names = [ "hoh-list"; "hoh-abtree"; "norec-tagged" ]
+
+let store_rows :
+    (string * Store_serve.mix * float * Serve.result * Store.stats) list ref =
+  ref []
+
+let store () =
+  print_endline
+    "\n=== Sharded store: saturation curves per mix per backend ===";
+  let horizon = if !quick then 60_000 else 120_000 in
+  let specs =
+    List.concat_map
+      (fun name ->
+        let backend =
+          match Store_backend.by_name name with
+          | Some b -> b
+          | None -> failwith ("bench store: unknown backend " ^ name)
+        in
+        List.map
+          (fun mix -> Store_serve.spec ~shards:store_shards ~backend ~mix ())
+          store_mixes)
+      store_backend_names
+  in
+  let run_point spec rate =
+    Store_serve.run spec
+      (Serve.config ~workers:serve_workers ~batch:4 ~queue_capacity:128
+         ~rate_per_kcycle:rate ~horizon ())
+  in
+  (* Phase 1: saturate each backend × mix combination to measure its
+     service capacity (same protocol as the latency panel). *)
+  let cal_rate = 200.0 in
+  let calibrated =
+    Pool.map ~jobs:(pjobs ()) (fun spec -> (spec, run_point spec cal_rate)) specs
+  in
+  List.iter
+    (fun ((spec : Store_serve.spec), ((r : Serve.result), _)) ->
+      Printf.printf "  [%s %s] capacity %.3f req/kcyc (offered %.0f)\n%!"
+        (Store_backend.name spec.backend)
+        (Store_serve.mix_name spec.mix)
+        r.Serve.goodput cal_rate)
+    calibrated;
+  (* Phase 2: the saturation curve — multiples of measured capacity. *)
+  let mults =
+    if !quick then [ 0.5; 1.0; 1.5 ]
+    else [ 0.25; 0.5; 0.85; 1.0; 1.2; 1.5; 2.0 ]
+  in
+  let points =
+    List.concat_map
+      (fun (spec, ((cal : Serve.result), _)) ->
+        List.map (fun m -> (spec, m, m *. cal.Serve.goodput)) mults)
+      calibrated
+  in
+  let results =
+    Pool.map ~jobs:(pjobs ()) (fun (spec, _, rate) -> run_point spec rate) points
+  in
+  let tagged =
+    List.map2
+      (fun ((spec : Store_serve.spec), m, _) (r, st) ->
+        (Store_backend.name spec.backend, spec.mix, m, r, st))
+      points results
+  in
+  store_rows :=
+    List.map
+      (fun ((spec : Store_serve.spec), (r, st)) ->
+        (Store_backend.name spec.backend, spec.mix, 0.0, r, st))
+      calibrated
+    @ tagged;
+  List.iter
+    (fun ((spec : Store_serve.spec), _) ->
+      let bname = Store_backend.name spec.backend in
+      let rows =
+        List.filter_map
+          (fun (n, mix, m, (r : Serve.result), (st : Store.stats)) ->
+            if n <> bname || mix <> spec.mix then None
+            else
+              let txns = st.txn_commits + st.txn_aborts in
+              Some
+                [
+                  Printf.sprintf "%.2fx" m;
+                  Report.f2 r.Serve.offered;
+                  Report.f2 r.Serve.goodput;
+                  Report.pct r.Serve.drop_rate;
+                  string_of_int (Hist.percentile r.Serve.e2e 99.0);
+                  Report.pct
+                    (if txns = 0 then 0.0
+                     else float_of_int st.txn_aborts /. float_of_int txns);
+                  string_of_int st.scan_tag_fallbacks;
+                  Printf.sprintf "%.2f" (Store.imbalance st);
+                ])
+          tagged
+      in
+      Report.table
+        ~title:
+          (Printf.sprintf
+             "Sharded store — %s, mix %s (%d shards, %d workers)"
+             bname
+             (Store_serve.mix_name spec.mix)
+             store_shards serve_workers)
+        ~columns:
+          [ "load"; "offered/kcyc"; "goodput/kcyc"; "drop"; "e2e p99";
+            "txn abort"; "scan fallback"; "imbalance" ]
+        rows)
+    calibrated
+
+(* ------------------------------------------------------------------ *)
 (* Wall-clock speed of the simulator itself: how many simulated requests
    the host executes per wall-second on the BENCH_3 phase-1 calibration
    microbench (all three serve backends saturated at 200 req/kcycle over
@@ -800,6 +929,45 @@ let export_json file =
           ])
       !latency_rows
   in
+  let store_points =
+    List.map
+      (fun ( backend,
+             (m : Store_serve.mix),
+             mult,
+             (r : Serve.result),
+             (st : Store.stats) ) ->
+        Json.Obj
+          [
+            ("backend", Json.String backend);
+            ("mix", Json.String (Store_serve.mix_name m));
+            ("point_pct", Json.Int m.point_pct);
+            ("txn_pct", Json.Int m.txn_pct);
+            ("scan_pct", Json.Int m.scan_pct);
+            ("shards", Json.Int store_shards);
+            ("calibration", Json.Bool (mult = 0.0));
+            ("load_multiple", Json.Float mult);
+            ("result", Serve.result_to_json r);
+            ("store",
+             Json.Obj
+               [
+                 ("point_ops", Json.Int st.point_ops);
+                 ("txn_commits", Json.Int st.txn_commits);
+                 ("txn_aborts", Json.Int st.txn_aborts);
+                 ("txn_sub_ops", Json.Int st.txn_sub_ops);
+                 ("txn_retries", Json.Int st.txn_retries);
+                 ("scans", Json.Int st.scans);
+                 ("scan_collects", Json.Int st.scan_collects);
+                 ("scan_tag_fallbacks", Json.Int st.scan_tag_fallbacks);
+                 ("scan_shard_retries", Json.Int st.scan_shard_retries);
+                 ("shard_ops",
+                  Json.List
+                    (Array.to_list
+                       (Array.map (fun n -> Json.Int n) st.shard_ops)));
+                 ("imbalance", Json.Float (Store.imbalance st));
+               ]);
+          ])
+      !store_rows
+  in
   let headline =
     List.map
       (fun (name, paper, measured) ->
@@ -834,13 +1002,14 @@ let export_json file =
   let doc =
     Json.Obj
       ([
-         ("schema_version", Json.Int 3);
+         ("schema_version", Json.Int 4);
          ("generator", Json.String "memory-tagging-sim bench/main.exe");
          ("quick", Json.Bool !quick);
          ("figures", Json.Obj figures);
          ("spurious", Json.List spurious);
          ("headline", Json.List headline);
          ("latency", Json.List latency_points);
+         ("store", Json.List store_points);
          ("timeseries", Json.List !timeline_rows);
        ]
       @ note_fields)
@@ -890,6 +1059,7 @@ let () =
   if want "spurious" then spurious ();
   if want "ablation" then ablation ();
   if want "latency" then latency ();
+  if want "store" then store ();
   if want "timeline" then timeline ();
   if want "speed" then speed ();
   if want "micro" then micro ();

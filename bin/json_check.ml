@@ -5,7 +5,13 @@
    Usage:  json_check [--bench|--trace] FILE...
 
    --bench  additionally requires a top-level object with an integer
-            "schema_version" field. For schema_version >= 2, every
+            "schema_version" field of at least 4 — older emitters must be
+            regenerated, not re-validated. Every store point (any object
+            carrying both "backend" and "mix") must carry integer mix
+            percentages summing to 100, a "result" object and a "store"
+            counters object (txn commit/abort, scan validation, per-shard
+            routing), and every time-series window a "store" panel.
+            Inherited from schema_version >= 2: every
             benchmark point (any object carrying both "impl" and "ops")
             must also carry a fully self-describing "spec" object
             (key_range, init_fill, insert_pct, delete_pct, threads,
@@ -51,19 +57,59 @@ let series_fields =
   [ "window_cycles"; "n_windows"; "marks"; "windows"; "latency_summary" ]
 
 let window_fields =
-  [ "t0"; "t1"; "ops"; "aborts"; "tags"; "mem"; "heat"; "serve"; "latency" ]
+  [
+    "t0"; "t1"; "ops"; "aborts"; "tags"; "mem"; "heat"; "serve"; "store";
+    "latency";
+  ]
+
+(* The counters object every sharded-store point must carry at v4. *)
+let store_stat_fields =
+  [
+    "point_ops"; "txn_commits"; "txn_aborts"; "txn_sub_ops"; "txn_retries";
+    "scans"; "scan_collects"; "scan_tag_fallbacks"; "scan_shard_retries";
+    "shard_ops"; "imbalance";
+  ]
 
 (* Walk the whole document: any object that looks like a benchmark point
    (has both "impl" and "ops") must be self-describing, likewise any
    service point (has both "backend" and "goodput_per_kcycle"). At
    schema v3, additionally: no bare nulls anywhere, headline rows carry
    a measurement or an explicit skip, and Series exports are complete. *)
-let rec check_points ?(v3 = false) path j =
+let rec check_points ?(v3 = false) ?(v4 = false) path j =
   (if v3 then match j with
    | Json.Null -> fail "%s: bare null (schema v3 wants explicit skips)" path
    | _ -> ());
   match j with
   | Json.Obj fields ->
+      if v4 then begin
+        match (Json.member "backend" j, Json.member "mix" j) with
+        | Some (Json.String _), Some (Json.String _) ->
+            (match
+               ( Json.member "point_pct" j,
+                 Json.member "txn_pct" j,
+                 Json.member "scan_pct" j )
+             with
+            | Some (Json.Int p), Some (Json.Int t), Some (Json.Int s)
+              when p + t + s = 100 ->
+                ()
+            | _ ->
+                fail
+                  "%s: store point mix percentages must be integers summing \
+                   to 100"
+                  path);
+            (match Json.member "result" j with
+            | Some (Json.Obj _) -> ()
+            | _ -> fail "%s: store point lacks a \"result\" object" path);
+            (match Json.member "store" j with
+            | Some (Json.Obj _ as st) ->
+                List.iter
+                  (fun f ->
+                    if Json.member f st = None then
+                      fail "%s: store point counters lack %S" path f)
+                  store_stat_fields
+            | _ -> fail "%s: store point lacks a \"store\" counters object" path)
+        | _ -> ()
+      end;
       if v3 then begin
         if Json.member "comparison" j <> None then begin
           match (Json.member "measured_peak_speedup" j, Json.member "skipped" j)
@@ -126,13 +172,19 @@ let rec check_points ?(v3 = false) path j =
               serve_fields
         | _ -> fail "%s: service point lacks a \"serve\" object" path
       end;
-      List.iter (fun (_, v) -> check_points ~v3 path v) fields
-  | Json.List l -> List.iter (check_points ~v3 path) l
+      List.iter (fun (_, v) -> check_points ~v3 ~v4 path v) fields
+  | Json.List l -> List.iter (check_points ~v3 ~v4 path) l
   | _ -> ()
 
 let check_bench path j =
   match Json.member "schema_version" j with
-  | Some (Json.Int v) -> if v >= 2 then check_points ~v3:(v >= 3) path j
+  | Some (Json.Int v) ->
+      if v < 4 then
+        fail
+          "%s: schema_version %d rejected (v4 required — regenerate with a \
+           current bench)"
+          path v
+      else check_points ~v3:true ~v4:true path j
   | _ -> fail "%s: missing integer schema_version" path
 
 let check_trace path j =

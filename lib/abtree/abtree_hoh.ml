@@ -354,6 +354,35 @@ struct
     in
     down t.sentinel
 
+  (* Plain (untagged, unvalidated) range collect: descend into the
+     subtrees overlapping [lo, hi] with plain reads only. Nodes are
+     immutable after creation (updates swing parent pointers to fresh
+     copies), so every visited node is internally consistent; the pointer
+     graph itself may be a mix of epochs, which is why this is only
+     atomic under an external quiescence proof (the sharded store's
+     per-shard version protocol). [budget] bounds the visit count so a
+     doomed attempt racing live updates still terminates. *)
+  let scan_plain ctx t ~lo ~hi ~budget =
+    let fuel = ref budget in
+    let acc = ref [] in
+    let rec visit node =
+      if !fuel > 0 then begin
+        decr fuel;
+        let d = read_desc_gen Ctx.read ctx node in
+        if d.leaf then
+          Array.iter (fun k -> if k >= lo && k <= hi then acc := k :: !acc) d.keys
+        else begin
+          let first = Node_desc.child_index d lo in
+          let last = Node_desc.child_index d hi in
+          for i = first to min last (Array.length d.ptrs - 1) do
+            visit d.ptrs.(i)
+          done
+        end
+      end
+    in
+    visit t.sentinel;
+    List.sort compare !acc
+
   (* Atomic range snapshot: visit the subtrees overlapping [lo, hi],
      keeping every visited node tagged, then rely on the per-extension
      validates for atomicity. *)

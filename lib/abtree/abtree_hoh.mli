@@ -34,6 +34,12 @@ end) : sig
       [None] when the range spans more lines than [Max_Tags] allows. *)
   val range : Mt_core.Ctx.t -> t -> lo:int -> hi:int -> int list option
 
+  (** [scan_plain ctx t ~lo ~hi ~budget] — plain untagged range collect
+      visiting at most [budget] nodes. {e Not} atomic on its own: callers
+      must prove quiescence externally (the sharded store's per-shard
+      version protocol does). *)
+  val scan_plain : Mt_core.Ctx.t -> t -> lo:int -> hi:int -> budget:int -> int list
+
   (** Structural invariant check on a quiescent machine. *)
   val check : Mt_sim.Machine.t -> t -> Checker.report
 end
@@ -50,6 +56,12 @@ end) : sig
   (** Atomic range snapshot [\[lo, hi\]] via tag-validated leaf walks;
       [None] when the range spans more lines than [Max_Tags] allows. *)
   val range : Mt_core.Ctx.t -> t -> lo:int -> hi:int -> int list option
+
+  (** [scan_plain ctx t ~lo ~hi ~budget] — plain untagged range collect
+      visiting at most [budget] nodes. {e Not} atomic on its own: callers
+      must prove quiescence externally (the sharded store's per-shard
+      version protocol does). *)
+  val scan_plain : Mt_core.Ctx.t -> t -> lo:int -> hi:int -> budget:int -> int list
 
   (** Structural invariant check on a quiescent machine. *)
   val check : Mt_sim.Machine.t -> t -> Checker.report

@@ -4,6 +4,7 @@ type distribution =
   | Uniform
   | Zipfian of { theta : float }
   | Flash_crowd of { hot : int; period : int; duty : int }
+  | Shard_hot of { shards : int; theta : float }
 
 type squeeze = { at : int; max_tags : int; hold : int }
 type straggler = { prob : float; pause : int }
@@ -110,7 +111,10 @@ let to_string s =
         Buffer.add_string b (Printf.sprintf "dist=zipf,%g" theta)
     | Flash_crowd { hot; period; duty } ->
         sep ();
-        Buffer.add_string b (Printf.sprintf "dist=flash,%d,%d,%d" hot period duty));
+        Buffer.add_string b (Printf.sprintf "dist=flash,%d,%d,%d" hot period duty)
+    | Shard_hot { shards; theta } ->
+        sep ();
+        Buffer.add_string b (Printf.sprintf "dist=shard,%d,%g" shards theta));
     (match s.geometry with
     | Some { l1_sets_log2; l1_ways; l2_sets_log2; l2_ways } ->
         sep ();
@@ -167,6 +171,11 @@ let of_string str =
                 ->
                   Ok { acc with distribution = Flash_crowd { hot; period; duty } }
               | _ -> fail "dist=flash,HOT,PERIOD,DUTY expected in %S" group)
+          | "dist", [ "shard"; s; th ] -> (
+              match (int_of_string_opt s, float_of_string_opt th) with
+              | Some shards, Some theta when shards > 0 && theta >= 0.0 ->
+                  Ok { acc with distribution = Shard_hot { shards; theta } }
+              | _ -> fail "dist=shard,SHARDS,THETA expected in %S" group)
           | "geom", l -> (
               match ints l with
               | Some [ l1_sets_log2; l1_ways; l2_sets_log2; l2_ways ]

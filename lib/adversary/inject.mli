@@ -15,6 +15,11 @@ type distribution =
       (** every [period] ops (per thread), the first [duty] ops draw from
           a [hot]-key window that rotates each period — a moving
           flash crowd. Remaining ops draw uniformly. *)
+  | Shard_hot of { shards : int; theta : float }
+      (** cross-shard skew for the sharded store: the Zipfian rank (mass
+          [∝ 1/(r+1)^theta]) picks the {e shard} (shard of key [k] is
+          [k mod shards], so rank 0 heats shard 0), and a uniform draw
+          picks the key within it. Syntax: ["dist=shard,SHARDS,THETA"]. *)
 
 type squeeze = {
   at : int;  (** trigger: first stall whose fiber clock reaches [at] *)

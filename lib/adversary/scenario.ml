@@ -98,6 +98,16 @@ let draw_key (spec : Inject.spec) ~range =
           let phase = nth / period in
           ((phase * 7919) + Prng.int prng (min hot range)) mod range
         else Prng.int prng range
+  | Shard_hot { shards; theta } ->
+      (* Zipfian rank picks the shard (the store routes key k to shard
+         k mod shards, so rank 0 heats shard 0), uniform slot picks the
+         key within it: key = rank + shards * slot stays < range because
+         slot < range / shards. *)
+      let shards = max 1 (min shards range) in
+      let z = Zipf.create ~n:shards ~theta in
+      let slots = range / shards in
+      fun ~prng ~nth:_ ~range:_ ->
+        Zipf.sample z prng + (shards * Prng.int prng slots)
 
 let hooks (spec : Inject.spec) ~range : Explore.hooks =
   if Inject.is_none spec then Explore.default_hooks

@@ -142,6 +142,41 @@ let rec get ctx a =
   end
   else dec w
 
+(* Fused AddTag + read of one kCAS-managed cell: the caller's next
+   [Ctx.validate] covers it. Descriptors caught mid-flight are helped to
+   completion first (helping writes the cell, so the re-read re-tags). *)
+let rec get_tagged ctx a =
+  let w = Ctx.add_tag_read ctx a ~words:1 in
+  if is_rdcss w then begin
+    rdcss_complete ctx (desc_of w);
+    get_tagged ctx a
+  end
+  else if is_mcas w then begin
+    help_event ctx (desc_of w);
+    ignore (mcas_help ctx (desc_of w));
+    get_tagged ctx a
+  end
+  else dec w
+
+(* Single-word CAS on a kCAS-managed cell: the degenerate 1-CAS, without
+   descriptor allocation. Helps any operation in progress, then decides on
+   the plain value. *)
+let rec cas ctx a ~expected ~desired =
+  let w = Ctx.read ctx a in
+  if is_rdcss w then begin
+    rdcss_complete ctx (desc_of w);
+    cas ctx a ~expected ~desired
+  end
+  else if is_mcas w then begin
+    help_event ctx (desc_of w);
+    ignore (mcas_help ctx (desc_of w));
+    cas ctx a ~expected ~desired
+  end
+  else if w <> enc expected then false
+  else
+    Ctx.cas ctx a ~expected:w ~desired:(enc desired)
+    || cas ctx a ~expected ~desired
+
 (* Fail-fast front end: tag + compare all cells first. A clean mismatch is
    a local failure with zero writes; tag breakage means contention, so we
    just fall through to the robust path. *)
@@ -170,11 +205,21 @@ let kcas_tagged ctx updates =
     kcas ctx updates
   end
 
+(* Hooks: one event per snapshot attempt, one per failed validation, so
+   scan/snapshot retry storms show up in abort breakdowns next to STM
+   aborts and kCAS helping. *)
+let snap_event ctx kind =
+  let o = Ctx.obs ctx in
+  if Mt_obs.Obs.enabled o then
+    Mt_obs.Obs.emit o ~core:(Ctx.core ctx) ~time:(Ctx.now ctx) kind
+
 let snapshot ctx addrs =
   let max_tags = (Mt_sim.Machine.cfg (Ctx.machine ctx)).Mt_sim.Config.max_tags in
-  if List.length addrs > max_tags then None
+  let cells = List.length addrs in
+  if cells > max_tags then None
   else begin
     let rec attempt () =
+      snap_event ctx (Mt_obs.Obs.Snap_attempt { cells });
       Ctx.clear_tag_set ctx;
       let values = List.map (fun a -> Ctx.add_tag_read ctx a ~words:1) addrs in
       if
@@ -185,6 +230,7 @@ let snapshot ctx addrs =
         Some (List.map dec values)
       end
       else begin
+        snap_event ctx (Mt_obs.Obs.Snap_invalid { cells });
         (* Help any operation we caught mid-flight, then retry. *)
         List.iter
           (fun w ->

@@ -22,6 +22,16 @@ val init : Mt_core.Ctx.t -> addr -> int -> unit
     progress there. *)
 val get : Mt_core.Ctx.t -> addr -> int
 
+(** [get_tagged ctx addr] — like {!get}, but the read is a tagged load
+    (fused AddTag + read), so the caller's next [Ctx.validate] certifies
+    the cell unchanged since this read. The caller owns the tag set. *)
+val get_tagged : Mt_core.Ctx.t -> addr -> int
+
+(** [cas ctx addr ~expected ~desired] — single-word CAS on a kCAS-managed
+    cell (the degenerate 1-CAS, no descriptor): helps any operation in
+    progress, then succeeds iff the cell holds [expected]. *)
+val cas : Mt_core.Ctx.t -> addr -> expected:int -> desired:int -> bool
+
 (** [kcas ctx updates] atomically applies all updates iff every cell holds
     its expected value. Lock-free (helps conflicting operations).
     Duplicate addresses are invalid. *)

@@ -113,6 +113,25 @@ module For_testing = struct
   let locate = locate
 end
 
+(* Plain (untagged, unvalidated) walk collecting keys in [lo, hi]. Not
+   atomic on its own: the sharded store calls this under its per-shard
+   version protocol, which proves the structure quiescent over the walk
+   whenever the enclosing scan validates. [budget] bounds the walk so a
+   doomed attempt racing live updates still terminates. *)
+let scan_plain ctx t ~lo ~hi ~budget =
+  let rec go node fuel acc =
+    if fuel <= 0 || node = Mt_sim.Memory.null then List.rev acc
+    else begin
+      let ck = Node.key ctx node in
+      if ck > hi then List.rev acc
+      else
+        let next = Node.ptr_of (Node.next_packed ctx node) in
+        let acc = if ck >= lo && ck <> min_int then ck :: acc else acc in
+        go next (fuel - 1) acc
+    end
+  in
+  go (Node.ptr_of (Node.next_packed ctx t.head)) budget []
+
 let range ctx t ~lo ~hi =
   let max_tags = (Mt_sim.Machine.cfg (Ctx.machine ctx)).Mt_sim.Config.max_tags in
   let rec attempt () =

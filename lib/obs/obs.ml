@@ -38,6 +38,12 @@ type kind =
   | Req_commit of { id : int }
   | Batch of { size : int }
   | Fault of { label : string }
+  | Store_op of { shard : int }
+  | Txn_commit of { shards : int; cycles : int }
+  | Txn_abort of { cause : string; retries : int }
+  | Scan_validate of { shard : int; ok : bool }
+  | Snap_attempt of { cells : int }
+  | Snap_invalid of { cells : int }
 
 type event = { seq : int; time : int; core : int; kind : kind }
 
@@ -226,6 +232,13 @@ let kind_name = function
   | Req_commit _ -> "req-commit"
   | Batch _ -> "batch"
   | Fault _ -> "fault"
+  | Store_op _ -> "store-op"
+  | Txn_commit _ -> "txn-commit"
+  | Txn_abort _ -> "txn-abort"
+  | Scan_validate { ok = true; _ } -> "scan-validate-ok"
+  | Scan_validate { ok = false; _ } -> "scan-validate-fail"
+  | Snap_attempt _ -> "snap-attempt"
+  | Snap_invalid _ -> "snap-invalid"
 
 let kind_args t = function
   | L1_miss { line } | L2_miss { line } | Writeback { line }
@@ -265,6 +278,15 @@ let kind_args t = function
   | Req_commit { id } -> [ ("id", Json.Int id) ]
   | Batch { size } -> [ ("size", Json.Int size) ]
   | Fault { label } -> [ ("label", Json.String label) ]
+  | Store_op { shard } -> [ ("shard", Json.Int shard) ]
+  | Txn_commit { shards; cycles } ->
+      [ ("shards", Json.Int shards); ("cycles", Json.Int cycles) ]
+  | Txn_abort { cause; retries } ->
+      [ ("cause", Json.String cause); ("retries", Json.Int retries) ]
+  | Scan_validate { shard; ok } ->
+      [ ("shard", Json.Int shard); ("ok", Json.Bool ok) ]
+  | Snap_attempt { cells } | Snap_invalid { cells } ->
+      [ ("cells", Json.Int cells) ]
 
 (* The request id an event participates in, if any — the thread that links
    one request's causal chain (arrive → enqueue → dequeue → retries →

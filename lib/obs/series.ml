@@ -76,6 +76,14 @@ type window = {
   mutable w_drops : int;
   mutable w_commits : int;
   mutable w_max_depth : int;
+  mutable w_store_ops : int;
+  mutable w_txn_commits : int;
+  mutable w_txn_aborts : int;
+  mutable w_scan_ok : int;
+  mutable w_scan_fail : int;
+  mutable w_snap_attempts : int;
+  mutable w_snap_invalid : int;
+  w_shard_ops : (int, int) Hashtbl.t;  (* shard -> routed ops (Store_op) *)
   w_lat : Hist.t;
   mutable w_snap : counters;  (* counter delta attributed to this window *)
 }
@@ -101,6 +109,14 @@ let fresh_window t0 =
     w_drops = 0;
     w_commits = 0;
     w_max_depth = 0;
+    w_store_ops = 0;
+    w_txn_commits = 0;
+    w_txn_aborts = 0;
+    w_scan_ok = 0;
+    w_scan_fail = 0;
+    w_snap_attempts = 0;
+    w_snap_invalid = 0;
+    w_shard_ops = Hashtbl.create 8;
     w_lat = Hist.create ();
     w_snap = zero_counters;
   }
@@ -193,6 +209,17 @@ let feed t (e : Obs.event) =
   | Obs.Req_retry _ -> w.w_retries <- w.w_retries + 1
   | Obs.Req_drop _ -> w.w_drops <- w.w_drops + 1
   | Obs.Req_commit _ -> w.w_commits <- w.w_commits + 1
+  | Obs.Store_op { shard } ->
+      w.w_store_ops <- w.w_store_ops + 1;
+      Hashtbl.replace w.w_shard_ops shard
+        (1 + Option.value ~default:0 (Hashtbl.find_opt w.w_shard_ops shard))
+  | Obs.Txn_commit _ -> w.w_txn_commits <- w.w_txn_commits + 1
+  | Obs.Txn_abort _ -> w.w_txn_aborts <- w.w_txn_aborts + 1
+  | Obs.Scan_validate { ok; _ } ->
+      if ok then w.w_scan_ok <- w.w_scan_ok + 1
+      else w.w_scan_fail <- w.w_scan_fail + 1
+  | Obs.Snap_attempt _ -> w.w_snap_attempts <- w.w_snap_attempts + 1
+  | Obs.Snap_invalid _ -> w.w_snap_invalid <- w.w_snap_invalid + 1
   | Obs.Fault { label } -> t.marks <- (e.time, label) :: t.marks
   | _ -> ()
 
@@ -285,6 +312,41 @@ let window_to_json t occ_end (w : window) =
             ("drops", Json.Int w.w_drops);
             ("commits", Json.Int w.w_commits);
             ("max_depth", Json.Int w.w_max_depth);
+          ] );
+      ( "store",
+        (* Per-shard counts render sorted by shard id (hash-table order is
+           not part of the determinism contract); imbalance is the hottest
+           shard's share normalized so uniform = 1.0. *)
+        let shards =
+          List.sort compare
+            (Hashtbl.fold (fun sh n acc -> (sh, n) :: acc) w.w_shard_ops [])
+        in
+        let hottest =
+          List.fold_left (fun a (_, n) -> max a n) 0 shards
+        in
+        let imbalance =
+          if w.w_store_ops = 0 || shards = [] then 1.0
+          else
+            float_of_int (hottest * List.length shards)
+            /. float_of_int w.w_store_ops
+        in
+        Json.Obj
+          [
+            ("ops", Json.Int w.w_store_ops);
+            ("txn_commits", Json.Int w.w_txn_commits);
+            ("txn_aborts", Json.Int w.w_txn_aborts);
+            ("scan_validate_ok", Json.Int w.w_scan_ok);
+            ("scan_validate_fail", Json.Int w.w_scan_fail);
+            ("snap_attempts", Json.Int w.w_snap_attempts);
+            ("snap_invalid", Json.Int w.w_snap_invalid);
+            ( "shard_ops",
+              Json.List
+                (List.map
+                   (fun (sh, n) ->
+                     Json.Obj
+                       [ ("shard", Json.Int sh); ("ops", Json.Int n) ])
+                   shards) );
+            ("imbalance", Json.Float imbalance);
           ] );
       ("latency", Hist.to_json w.w_lat);
     ]

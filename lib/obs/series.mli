@@ -98,6 +98,14 @@ type window = {
   mutable w_drops : int;
   mutable w_commits : int;
   mutable w_max_depth : int;
+  mutable w_store_ops : int;
+  mutable w_txn_commits : int;
+  mutable w_txn_aborts : int;
+  mutable w_scan_ok : int;
+  mutable w_scan_fail : int;
+  mutable w_snap_attempts : int;
+  mutable w_snap_invalid : int;
+  w_shard_ops : (int, int) Hashtbl.t;
   w_lat : Hist.t;
   mutable w_snap : counters;
 }

@@ -129,9 +129,13 @@ type result = {
   batch_fill : Hist.t;
   max_depth : int;
   dequeue_log : (int * int) list;
+  class_names : string array;
+  class_counts : int array;
+  class_service : Hist.t array;
+  class_e2e : Hist.t array;
 }
 
-let run ?cfg ?(obs = Obs.null) ?make_policy ?series ~name ~setup ~op
+let run ?cfg ?(obs = Obs.null) ?make_policy ?series ?classes ~name ~setup ~op
     (c : config) =
   let threads = c.workers + 1 in
   let cfg =
@@ -155,6 +159,15 @@ let run ?cfg ?(obs = Obs.null) ?make_policy ?series ~name ~setup ~op
   and e2e = Hist.create ()
   and batch_fill = Hist.create () in
   let dequeue_log = ref [] in
+  (* Optional per-request-class breakdown: [classes = (names, classify)]
+     buckets each completed request by [classify payload] — host-level
+     accounting only, so it never perturbs the simulation. *)
+  let class_names = match classes with Some (n, _) -> n | None -> [||] in
+  let classify = match classes with Some (_, f) -> f | None -> fun _ -> -1 in
+  let nclasses = Array.length class_names in
+  let class_counts = Array.make nclasses 0 in
+  let class_service = Array.init nclasses (fun _ -> Hist.create ()) in
+  let class_e2e = Array.init nclasses (fun _ -> Hist.create ()) in
 
   (* The arrival fiber: generates timestamped requests from the arrival
      process until [horizon], runs admission (enqueue, or drop / schedule a
@@ -319,6 +332,14 @@ let run ?cfg ?(obs = Obs.null) ?make_policy ?series ~name ~setup ~op
               end;
               Hist.add service (t1 - t0);
               Hist.add e2e (t1 - r.arrival);
+              if nclasses > 0 then begin
+                let cl = classify r.payload in
+                if cl >= 0 && cl < nclasses then begin
+                  class_counts.(cl) <- class_counts.(cl) + 1;
+                  Hist.add class_service.(cl) (t1 - t0);
+                  Hist.add class_e2e.(cl) (t1 - r.arrival)
+                end
+              end;
               incr completed)
             batch
     done
@@ -379,6 +400,10 @@ let run ?cfg ?(obs = Obs.null) ?make_policy ?series ~name ~setup ~op
     batch_fill;
     max_depth;
     dequeue_log = List.rev !dequeue_log;
+    class_names;
+    class_counts;
+    class_service;
+    class_e2e;
   }
 
 let run_set ?cfg ?obs ?make_policy ?series ?(init_fill = 0.5)
@@ -469,4 +494,17 @@ let result_to_json r =
       ("e2e_latency_cycles", Hist.to_json r.e2e);
       ("batch_fill", Hist.to_json r.batch_fill);
       ("max_queue_depth", Json.Int r.max_depth);
+      ( "classes",
+        Json.List
+          (Array.to_list
+             (Array.mapi
+                (fun i n ->
+                  Json.Obj
+                    [
+                      ("class", Json.String n);
+                      ("count", Json.Int r.class_counts.(i));
+                      ("service_cycles", Hist.to_json r.class_service.(i));
+                      ("e2e_latency_cycles", Hist.to_json r.class_e2e.(i));
+                    ])
+                r.class_names)) );
     ]

@@ -91,6 +91,12 @@ type result = {
   max_depth : int;  (** high-water occupancy over all queues *)
   dequeue_log : (int * int) list;
       (** (queue id, request id) in dequeue order, iff [record_dequeues] *)
+  class_names : string array;
+      (** per-request-class breakdown labels ([[||]] unless [?classes]
+          was passed to {!run}) *)
+  class_counts : int array;  (** completions per class, same index *)
+  class_service : Mt_obs.Hist.t array;  (** service time per class *)
+  class_e2e : Mt_obs.Hist.t array;  (** end-to-end latency per class *)
 }
 
 (** [run ?cfg ?obs ~name ~setup ~op config] — the open-loop analogue of
@@ -112,12 +118,18 @@ type result = {
     machine (fault injection); [series] attaches windowed telemetry
     ({!Mt_obs.Series}) to the serving phase (requires a recording [obs];
     a [retain:false] sink works). Both apply to the serving phase only,
-    never setup. *)
+    never setup.
+
+    [classes = (names, classify)] buckets each completed request by
+    [classify payload] (an index into [names]; out-of-range means
+    unclassified) into the per-class counts and latency histograms of the
+    result — host-level accounting, never perturbing the simulation. *)
 val run :
   ?cfg:Mt_sim.Config.t ->
   ?obs:Mt_obs.Obs.t ->
   ?make_policy:(Mt_sim.Machine.t -> Mt_sim.Runtime.policy) ->
   ?series:Mt_obs.Series.t ->
+  ?classes:string array * (int -> int) ->
   name:string ->
   setup:(Mt_core.Ctx.t -> 'a) ->
   op:(Mt_core.Ctx.t -> 'a -> int -> unit) ->

@@ -1,0 +1,67 @@
+open Mt_core
+
+(* A store shard backend: a tagged set structure plus a plain-read range
+   collect. The store never relies on a backend op's own tag set surviving
+   the call — every structure clears the tag set internally — which is why
+   scan atomicity comes from the store's per-shard version words and the
+   backend only has to provide an unvalidated walk ([scan_plain]) that the
+   version protocol proves quiescent. *)
+module type S = sig
+  include Mt_list.Set_intf.SET
+
+  (** Plain (untagged, unvalidated) walk collecting the keys in
+      [\[lo, hi\]], visiting at most [budget] nodes. Only atomic under an
+      external quiescence proof (the store's version protocol). *)
+  val scan_plain : Ctx.t -> t -> lo:int -> hi:int -> budget:int -> int list
+end
+
+module Hoh_list : S = struct
+  include Mt_list.Hoh_list
+end
+
+module Hoh_abtree : S = struct
+  include Mt_abtree.Abtree_hoh.Make (struct
+    let a = 4
+    let b = 8
+  end)
+
+  let name = "hoh-abtree"
+end
+
+(* Each shard owns a private tagged-NOrec instance (its own sequence
+   lock), so transactions on distinct shards never conflict at the STM
+   layer — cross-shard atomicity is the store's job, not NOrec's. *)
+module Norec_map : S = struct
+  module Stm = Mt_stm.Norec_tagged
+  module TM = Mt_stamp.Tx_map.Make (Stm)
+
+  type t = { stm : Stm.t; map : TM.t }
+
+  let name = "norec-tagged"
+  let create ctx = { stm = Stm.create ctx; map = TM.create ctx }
+
+  let insert ctx t k =
+    Stm.atomically ctx t.stm (fun tx -> TM.insert tx t.map k k)
+
+  let delete ctx t k =
+    Stm.atomically ctx t.stm (fun tx -> TM.remove tx t.map k <> None)
+
+  let contains ctx t k =
+    Stm.atomically ctx t.stm (fun tx -> TM.find tx t.map k <> None)
+
+  let scan_plain ctx t ~lo ~hi ~budget =
+    TM.scan_keys_plain ctx t.map ~lo ~hi ~budget
+
+  let to_list_unsafe machine t =
+    List.map fst (TM.to_alist_unsafe machine t.map)
+end
+
+let all : (string * (module S)) list =
+  [
+    ("hoh-list", (module Hoh_list));
+    ("hoh-abtree", (module Hoh_abtree));
+    ("norec-tagged", (module Norec_map));
+  ]
+
+let by_name n = List.assoc_opt n all
+let name (module B : S) = B.name

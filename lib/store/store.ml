@@ -1,0 +1,446 @@
+open Mt_core
+module Kcas = Mt_kcas.Kcas
+module Obs = Mt_obs.Obs
+
+(* A sharded multi-structure store. Keys hash-partition (k mod shards)
+   across per-core shards, each backed by a pluggable tagged structure.
+   Concurrency control lives entirely in one kCAS-managed *version word*
+   per shard (its own cache line): even = unlocked, odd = locked, and the
+   value only ever increases, so there is no ABA.
+
+   - Point writes lock their one shard with a single-word CAS
+     (even v -> v+1), run the backend op, release (v+1 -> v+2). Zero
+     cross-shard coordination.
+   - Point gets are optimistic: read the version (even), run the
+     backend's linearizable [contains], re-read the version; equal means
+     no writer held or took the shard lock during the read, so the value
+     seen is committed state. (Without this check a point get could
+     observe a cross-shard transaction's sub-op before the transaction's
+     release — unlinearizable, see test_store.)
+   - Transactions acquire every touched shard's lock in one
+     [Kcas.kcas_tagged] (all even v_i -> v_i+1, fail-fast on tags), apply
+     sub-ops under the locks, and release all locks atomically with one
+     [Kcas.kcas] — the release is the commit's linearization point.
+     Acquisition retries are bounded; exhaustion aborts with a cause.
+   - Scans tag each touched shard's version word (Kcas.snapshot-style),
+     walk the shard with the backend's plain collect, then validate the
+     whole tag set once. On a broken or capacity-evicted tag the plain
+     re-read fallback discriminates: versions are monotone, so a version
+     unchanged between a shard's pre-walk read and the re-read pass
+     proves that shard quiescent over an interval containing the pass
+     start — a common instant for every shard. Only shards whose version
+     moved are re-collected. *)
+
+type op = Get | Insert | Delete
+
+let op_name = function Get -> "get" | Insert -> "insert" | Delete -> "delete"
+
+type outcome =
+  | Committed of bool list
+  | Aborted of { cause : string; retries : int }
+
+type stats = {
+  point_ops : int;
+  txn_commits : int;
+  txn_aborts : int;
+  txn_sub_ops : int;
+  txn_retries : int;
+  scans : int;
+  scan_collects : int;
+  scan_tag_fallbacks : int;
+  scan_shard_retries : int;
+  shard_ops : int array;
+}
+
+(* Host-level accounting: a pure function of the simulation, so it is
+   byte-identical for any --jobs and with tracing on or off. *)
+type counters = {
+  mutable c_point_ops : int;
+  mutable c_txn_commits : int;
+  mutable c_txn_aborts : int;
+  mutable c_txn_sub_ops : int;
+  mutable c_txn_retries : int;
+  mutable c_scans : int;
+  mutable c_scan_collects : int;
+  mutable c_scan_tag_fallbacks : int;
+  mutable c_scan_shard_retries : int;
+  c_shard_ops : int array;
+}
+
+(* Shard imbalance: hottest shard's share of routed ops, normalized so a
+   perfectly uniform split is 1.0 and "everything on one shard" is
+   [num_shards]. *)
+let imbalance st =
+  let total = Array.fold_left ( + ) 0 st.shard_ops in
+  if total = 0 then 1.0
+  else
+    let hottest = Array.fold_left max 0 st.shard_ops in
+    float_of_int (hottest * Array.length st.shard_ops) /. float_of_int total
+
+type t =
+  | T : {
+      backend : (module Backend.S with type t = 'b);
+      backend_name : string;
+      shards : 'b array;
+      versions : Ctx.addr array;
+      key_space : int;
+      txn_max_retries : int;
+      scan_budget : int;
+      c : counters;
+    }
+      -> t
+
+let create ?(txn_max_retries = 8) (backend : (module Backend.S)) ctx ~shards
+    ~key_space =
+  if shards <= 0 then invalid_arg "Store.create: shards must be positive";
+  if key_space < shards then invalid_arg "Store.create: key_space < shards";
+  if txn_max_retries < 0 then invalid_arg "Store.create: txn_max_retries";
+  let (module B) = backend in
+  let versions =
+    Array.init shards (fun _ ->
+        (* One word per line: shard locks never false-share. *)
+        let a = Ctx.alloc ~label:"store-version" ctx ~words:1 in
+        Kcas.init ctx a 0;
+        a)
+  in
+  let per_shard = ((key_space + shards - 1) / shards) + 1 in
+  T
+    {
+      backend = (module B : Backend.S with type t = B.t);
+      backend_name = B.name;
+      shards = Array.init shards (fun _ -> B.create ctx);
+      versions;
+      key_space;
+      txn_max_retries;
+      (* Enough fuel to walk a whole shard (every structure visits at most
+         ~2 nodes per resident key) plus slack; a doomed racy walk burning
+         it out just fails the version check and retries. *)
+      scan_budget = (2 * per_shard) + 64;
+      c =
+        {
+          c_point_ops = 0;
+          c_txn_commits = 0;
+          c_txn_aborts = 0;
+          c_txn_sub_ops = 0;
+          c_txn_retries = 0;
+          c_scans = 0;
+          c_scan_collects = 0;
+          c_scan_tag_fallbacks = 0;
+          c_scan_shard_retries = 0;
+          c_shard_ops = Array.make shards 0;
+        };
+    }
+
+let num_shards (T s) = Array.length s.versions
+let key_space (T s) = s.key_space
+let backend_name (T s) = s.backend_name
+
+let shard_of (T s) k =
+  if k < 0 then invalid_arg "Store.shard_of: negative key";
+  k mod Array.length s.versions
+
+let stats (T s) =
+  {
+    point_ops = s.c.c_point_ops;
+    txn_commits = s.c.c_txn_commits;
+    txn_aborts = s.c.c_txn_aborts;
+    txn_sub_ops = s.c.c_txn_sub_ops;
+    txn_retries = s.c.c_txn_retries;
+    scans = s.c.c_scans;
+    scan_collects = s.c.c_scan_collects;
+    scan_tag_fallbacks = s.c.c_scan_tag_fallbacks;
+    scan_shard_retries = s.c.c_scan_shard_retries;
+    shard_ops = Array.copy s.c.c_shard_ops;
+  }
+
+let reset_stats (T s) =
+  s.c.c_point_ops <- 0;
+  s.c.c_txn_commits <- 0;
+  s.c.c_txn_aborts <- 0;
+  s.c.c_txn_sub_ops <- 0;
+  s.c.c_txn_retries <- 0;
+  s.c.c_scans <- 0;
+  s.c.c_scan_collects <- 0;
+  s.c.c_scan_tag_fallbacks <- 0;
+  s.c.c_scan_shard_retries <- 0;
+  Array.fill s.c.c_shard_ops 0 (Array.length s.c.c_shard_ops) 0
+
+let emit ctx kind =
+  let o = Ctx.obs ctx in
+  if Obs.enabled o then Obs.emit o ~core:(Ctx.core ctx) ~time:(Ctx.now ctx) kind
+
+let check_key key_space k =
+  if k < 0 || k >= key_space then invalid_arg "Store: key out of range"
+
+let locked v = v land 1 = 1
+let backoff_cycles attempt = min 512 (16 lsl min attempt 5)
+
+(* Spin until the shard's version is even and our CAS takes it odd.
+   Returns the locked (odd) version. Writers always release, so this
+   terminates under any fair schedule. *)
+let acquire ctx versions sh =
+  let rec go attempt =
+    let v = Kcas.get ctx versions.(sh) in
+    if (not (locked v)) && Kcas.cas ctx versions.(sh) ~expected:v ~desired:(v + 1)
+    then v + 1
+    else begin
+      Ctx.work ctx (backoff_cycles attempt);
+      go (attempt + 1)
+    end
+  in
+  go 0
+
+let release ctx versions sh vlocked =
+  (* We hold the lock: nothing else may move the version word, and a
+     transaction's tagged acquire only fires on even values. *)
+  let ok = Kcas.cas ctx versions.(sh) ~expected:vlocked ~desired:(vlocked + 1) in
+  if not ok then failwith "Store: release CAS lost while holding the lock"
+
+let point_done ctx c sh =
+  c.c_point_ops <- c.c_point_ops + 1;
+  c.c_shard_ops.(sh) <- c.c_shard_ops.(sh) + 1;
+  emit ctx (Obs.Store_op { shard = sh })
+
+let insert ctx (T s) k =
+  check_key s.key_space k;
+  let module B = (val s.backend) in
+  let sh = k mod Array.length s.versions in
+  let vl = acquire ctx s.versions sh in
+  let r = B.insert ctx s.shards.(sh) k in
+  release ctx s.versions sh vl;
+  point_done ctx s.c sh;
+  r
+
+let delete ctx (T s) k =
+  check_key s.key_space k;
+  let module B = (val s.backend) in
+  let sh = k mod Array.length s.versions in
+  let vl = acquire ctx s.versions sh in
+  let r = B.delete ctx s.shards.(sh) k in
+  release ctx s.versions sh vl;
+  point_done ctx s.c sh;
+  r
+
+let get ctx (T s) k =
+  check_key s.key_space k;
+  let module B = (val s.backend) in
+  let sh = k mod Array.length s.versions in
+  let rec attempt tries =
+    let v = Kcas.get ctx s.versions.(sh) in
+    if locked v then begin
+      Ctx.work ctx (backoff_cycles tries);
+      attempt (tries + 1)
+    end
+    else begin
+      let r = B.contains ctx s.shards.(sh) k in
+      (* Version unchanged across the read: no writer held or took the
+         shard lock meanwhile, so [r] is committed state. *)
+      if Kcas.get ctx s.versions.(sh) = v then r
+      else begin
+        Ctx.work ctx (backoff_cycles tries);
+        attempt (tries + 1)
+      end
+    end
+  in
+  let r = attempt 0 in
+  point_done ctx s.c sh;
+  r
+
+let txn ctx (T s) ops =
+  List.iter (fun (k, _) -> check_key s.key_space k) ops;
+  match ops with
+  | [] -> Committed []
+  | _ ->
+      let module B = (val s.backend) in
+      let nsh = Array.length s.versions in
+      let shard_ids =
+        List.sort_uniq compare (List.map (fun (k, _) -> k mod nsh) ops)
+      in
+      let t0 = Ctx.now ctx in
+      let last_cause = ref "shard-locked" in
+      (* All-or-nothing lock acquisition: one tagged kCAS over every
+         touched shard's version word, even v_i -> odd v_i+1. The tag
+         front end fails fast (no descriptor traffic) when a version
+         moved under us. *)
+      let rec try_acquire attempt =
+        if attempt > s.txn_max_retries then None
+        else begin
+          let vs =
+            List.map (fun sh -> (sh, Kcas.get ctx s.versions.(sh))) shard_ids
+          in
+          if List.exists (fun (_, v) -> locked v) vs then begin
+            last_cause := "shard-locked";
+            Ctx.work ctx (backoff_cycles attempt);
+            try_acquire (attempt + 1)
+          end
+          else begin
+            let ups =
+              List.map
+                (fun (sh, v) ->
+                  { Kcas.addr = s.versions.(sh); expected = v; desired = v + 1 })
+                vs
+            in
+            if Kcas.kcas_tagged ctx ups then Some (vs, attempt)
+            else begin
+              last_cause := "version-changed";
+              Ctx.work ctx (backoff_cycles attempt);
+              try_acquire (attempt + 1)
+            end
+          end
+        end
+      in
+      (match try_acquire 0 with
+      | None ->
+          s.c.c_txn_aborts <- s.c.c_txn_aborts + 1;
+          s.c.c_txn_retries <- s.c.c_txn_retries + s.txn_max_retries;
+          emit ctx
+            (Obs.Txn_abort
+               { cause = !last_cause; retries = s.txn_max_retries });
+          Aborted { cause = !last_cause; retries = s.txn_max_retries }
+      | Some (vs, retries) ->
+          s.c.c_txn_retries <- s.c.c_txn_retries + retries;
+          (* Sub-ops run under every touched shard's lock; nothing is
+             visible as committed until the atomic release below. *)
+          let results =
+            List.map
+              (fun (k, o) ->
+                let sh = k mod nsh in
+                s.c.c_txn_sub_ops <- s.c.c_txn_sub_ops + 1;
+                s.c.c_shard_ops.(sh) <- s.c.c_shard_ops.(sh) + 1;
+                emit ctx (Obs.Store_op { shard = sh });
+                match o with
+                | Get -> B.contains ctx s.shards.(sh) k
+                | Insert -> B.insert ctx s.shards.(sh) k
+                | Delete -> B.delete ctx s.shards.(sh) k)
+              ops
+          in
+          let rel =
+            List.map
+              (fun (sh, v) ->
+                {
+                  Kcas.addr = s.versions.(sh);
+                  expected = v + 1;
+                  desired = v + 2;
+                })
+              vs
+          in
+          (* Atomic release of every lock: the commit's linearization
+             point. Cannot fail — we hold all the locks. *)
+          if not (Kcas.kcas ctx rel) then
+            failwith "Store: txn release kCAS lost while holding the locks";
+          s.c.c_txn_commits <- s.c.c_txn_commits + 1;
+          emit ctx
+            (Obs.Txn_commit
+               { shards = List.length shard_ids; cycles = Ctx.now ctx - t0 });
+          Committed results)
+
+let scan ctx (T s) ~lo ~hi =
+  check_key s.key_space lo;
+  check_key s.key_space hi;
+  if lo > hi then invalid_arg "Store.scan: lo > hi";
+  let module B = (val s.backend) in
+  let nsh = Array.length s.versions in
+  (* Residue classes intersecting [lo, hi]: all of them unless the window
+     is narrower than the shard count. *)
+  let relevant =
+    if hi - lo + 1 >= nsh then List.init nsh (fun i -> i)
+    else List.sort_uniq compare (List.init (hi - lo + 1) (fun i -> (lo + i) mod nsh))
+  in
+  let nrel = List.length relevant in
+  let machine = Ctx.machine ctx in
+  let vers = Array.make nsh 0 in
+  let res : int list array = Array.make nsh [] in
+  let dirty = Array.make nsh false in
+  List.iter (fun sh -> dirty.(sh) <- true) relevant;
+  let rec round () =
+    (* Tags certify the whole shard set at one instant only if every
+       version word fits the tag set; past capacity (or under a squeeze)
+       we go straight to the monotone-version fallback. *)
+    let use_tags = nrel <= Mt_sim.Machine.max_tags machine in
+    if use_tags then Ctx.clear_tag_set ctx;
+    let read_version sh =
+      if use_tags then Kcas.get_tagged ctx s.versions.(sh)
+      else Kcas.get ctx s.versions.(sh)
+    in
+    (* Re-pin shards kept from earlier rounds: versions are monotone, so
+       an unchanged version means the shard never moved since its walk. *)
+    List.iter
+      (fun sh ->
+        if not dirty.(sh) then begin
+          let v = read_version sh in
+          if v <> vers.(sh) then begin
+            dirty.(sh) <- true;
+            s.c.c_scan_shard_retries <- s.c.c_scan_shard_retries + 1;
+            emit ctx (Obs.Scan_validate { shard = sh; ok = false })
+          end
+        end)
+      relevant;
+    (* Collect invalidated shards: pin an even version, then walk with
+       plain reads. *)
+    List.iter
+      (fun sh ->
+        if dirty.(sh) then begin
+          let rec pin tries =
+            let v = read_version sh in
+            if locked v then begin
+              Ctx.work ctx (backoff_cycles tries);
+              pin (tries + 1)
+            end
+            else v
+          in
+          vers.(sh) <- pin 0;
+          res.(sh) <- B.scan_plain ctx s.shards.(sh) ~lo ~hi ~budget:s.scan_budget;
+          s.c.c_scan_collects <- s.c.c_scan_collects + 1;
+          dirty.(sh) <- false
+        end)
+      relevant;
+    if use_tags && Ctx.validate ctx then begin
+      (* Fast path: one validate proves every tagged version word
+         unchanged since its (re-)read — all shards quiescent from their
+         walks through this single instant. *)
+      Ctx.clear_tag_set ctx;
+      List.iter
+        (fun sh -> emit ctx (Obs.Scan_validate { shard = sh; ok = true }))
+        relevant
+    end
+    else begin
+      if use_tags then begin
+        Ctx.clear_tag_set ctx;
+        s.c.c_scan_tag_fallbacks <- s.c.c_scan_tag_fallbacks + 1
+      end;
+      (* Plain re-read pass, sound without tags: every walk precedes the
+         pass and every re-read follows its start, so an unchanged
+         (monotone) version pins each shard's frozen interval around the
+         pass start — a common instant. Discriminates spurious tag
+         failures (capacity evictions) from real shard movement, and
+         re-collects only the movers. *)
+      let all_ok = ref true in
+      List.iter
+        (fun sh ->
+          let v = Kcas.get ctx s.versions.(sh) in
+          if v <> vers.(sh) then begin
+            dirty.(sh) <- true;
+            all_ok := false;
+            s.c.c_scan_shard_retries <- s.c.c_scan_shard_retries + 1;
+            emit ctx (Obs.Scan_validate { shard = sh; ok = false })
+          end)
+        relevant;
+      if !all_ok then
+        List.iter
+          (fun sh -> emit ctx (Obs.Scan_validate { shard = sh; ok = true }))
+          relevant
+      else round ()
+    end
+  in
+  round ();
+  s.c.c_scans <- s.c.c_scans + 1;
+  List.sort compare (List.concat_map (fun sh -> res.(sh)) relevant)
+
+let snapshot_all ctx (T s as t) = scan ctx t ~lo:0 ~hi:(s.key_space - 1)
+
+let to_list_unsafe machine (T s) =
+  let module B = (val s.backend) in
+  List.sort compare
+    (List.concat_map
+       (fun shard -> B.to_list_unsafe machine shard)
+       (Array.to_list s.shards))

@@ -1,0 +1,103 @@
+(** The sharded multi-structure store.
+
+    Hash-partitions a key space across per-core shards (key [k] lives in
+    shard [k mod shards]), each backed by a pluggable tagged structure
+    ({!Backend.S}). All cross-operation coordination lives in one
+    kCAS-managed {e version word} per shard (even = unlocked, odd =
+    locked, monotonically increasing):
+
+    - {b point ops} touch exactly one shard — writes take the shard's
+      version lock with a single-word CAS, gets validate optimistically
+      by re-reading the version — with zero cross-shard coordination;
+    - {b transactions} acquire every touched shard's lock in one
+      [Kcas.kcas_tagged] and release them all with one [Kcas.kcas] (the
+      commit's linearization point), aborting with a cause after a
+      bounded number of acquisition retries;
+    - {b scans/snapshots} tag each touched shard's version word
+      (Kcas.snapshot-style), walk shards with the backend's plain
+      collect, and validate the whole tag set at one instant, falling
+      back to a monotone-version re-read pass that re-collects only the
+      shards that actually moved (so spurious tag capacity evictions and
+      [shards > Max_Tags] both degrade gracefully instead of failing).
+
+    Progress and accounting are deterministic: a run is a pure function
+    of the simulation, byte-identical for any [--jobs] and with tracing
+    on or off. Obs hooks: [Store_op], [Txn_commit], [Txn_abort],
+    [Scan_validate]. *)
+
+type op = Get | Insert | Delete
+
+val op_name : op -> string
+
+type outcome =
+  | Committed of bool list
+      (** per-sub-op results, in the order the sub-ops were given *)
+  | Aborted of { cause : string; retries : int }
+      (** lock acquisition exhausted its retry budget; no sub-op ran and
+          no shard was modified ([cause] is ["shard-locked"] or
+          ["version-changed"]) *)
+
+(** Host-level operation counters (a pure function of the simulation). *)
+type stats = {
+  point_ops : int;
+  txn_commits : int;
+  txn_aborts : int;
+  txn_sub_ops : int;
+  txn_retries : int;  (** acquisition retries, committed and aborted *)
+  scans : int;
+  scan_collects : int;  (** per-shard walk executions (>= touched shards) *)
+  scan_tag_fallbacks : int;
+      (** tag validations that failed and fell back to the version
+          re-read pass (spurious or real) *)
+  scan_shard_retries : int;  (** shards re-collected after moving *)
+  shard_ops : int array;  (** routed ops per shard (imbalance source) *)
+}
+
+type t
+
+(** [create backend ctx ~shards ~key_space] — keys are [0 .. key_space-1].
+    [txn_max_retries] (default 8) bounds transaction lock acquisition.
+    Call from a quiescent context (e.g. serve setup) before sharing. *)
+val create :
+  ?txn_max_retries:int ->
+  (module Backend.S) ->
+  Mt_core.Ctx.t ->
+  shards:int ->
+  key_space:int ->
+  t
+
+val num_shards : t -> int
+val key_space : t -> int
+val backend_name : t -> string
+
+(** The shard routing function: [k mod num_shards]. *)
+val shard_of : t -> int -> int
+
+(** Point ops: shard-local, linearizable. *)
+val get : Mt_core.Ctx.t -> t -> int -> bool
+
+val insert : Mt_core.Ctx.t -> t -> int -> bool
+val delete : Mt_core.Ctx.t -> t -> int -> bool
+
+(** [txn ctx t ops] — atomic multi-key transaction across shards. Either
+    every sub-op runs (under all touched shard locks, released atomically)
+    or none does. *)
+val txn : Mt_core.Ctx.t -> t -> (int * op) list -> outcome
+
+(** [scan ctx t ~lo ~hi] — an atomic snapshot of the keys in [\[lo, hi\]]
+    (both within the key space), merged across shards in ascending
+    order. Retries only the shards whose version moved. *)
+val scan : Mt_core.Ctx.t -> t -> lo:int -> hi:int -> int list
+
+(** Whole-store snapshot: [scan] over the full key space. *)
+val snapshot_all : Mt_core.Ctx.t -> t -> int list
+
+val stats : t -> stats
+val reset_stats : t -> unit
+
+(** Hottest shard's share of routed ops, normalized: 1.0 = perfectly
+    uniform, [num_shards] = everything on one shard. *)
+val imbalance : stats -> float
+
+(** Timing-free contents for test oracles (quiescent machine only). *)
+val to_list_unsafe : Mt_sim.Machine.t -> t -> int list

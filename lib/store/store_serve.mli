@@ -1,0 +1,56 @@
+(** Open-loop serve-layer traffic for the sharded store: a request-kind
+    mix (point/txn/scan percentages) decoded deterministically from each
+    request's payload, so a run is a pure function of the serve config —
+    byte-identical for any [--jobs] and with tracing on or off. *)
+
+(** A request-kind mix; the three percentages sum to 100. *)
+type mix = { point_pct : int; txn_pct : int; scan_pct : int }
+
+(** [mix ~point_pct ~txn_pct] — scan gets the remainder. *)
+val mix : point_pct:int -> txn_pct:int -> mix
+
+(** E.g. ["p80-t15-s5"]. *)
+val mix_name : mix -> string
+
+type spec = {
+  backend : (module Backend.S);
+  shards : int;
+  key_space : int;
+  prefill : int;  (** seeded keys inserted before serving *)
+  mix : mix;
+  txn_keys : int;  (** sub-ops per transaction *)
+  scan_width : int;  (** keys covered by one range scan *)
+}
+
+(** Defaults: 4 shards, 2^20 keys, 1024 prefilled, 3-key transactions,
+    4096-wide scans. *)
+val spec :
+  ?shards:int ->
+  ?key_space:int ->
+  ?prefill:int ->
+  ?txn_keys:int ->
+  ?scan_width:int ->
+  backend:(module Backend.S) ->
+  mix:mix ->
+  unit ->
+  spec
+
+(** Request-class labels for the serve layer's per-class latency
+    breakdown: [[| "point"; "txn"; "scan" |]]. *)
+val classes : string array
+
+(** The class index ([classes]) a payload decodes to under [spec]'s mix. *)
+val classify : spec -> int -> int
+
+(** [run spec config] serves the mixed workload against a store built in
+    setup (with seeded prefill); returns the serve result (including the
+    per-class latency breakdown) and the store's operation counters for
+    the serving phase. *)
+val run :
+  ?cfg:Mt_sim.Config.t ->
+  ?obs:Mt_obs.Obs.t ->
+  ?make_policy:(Mt_sim.Machine.t -> Mt_sim.Runtime.policy) ->
+  ?series:Mt_obs.Series.t ->
+  spec ->
+  Mt_serve.Server.config ->
+  Mt_serve.Server.result * Store.stats

@@ -164,3 +164,82 @@ module Make (S : Mt_list.Set_intf.SET) = struct
       QCheck_alcotest.to_alcotest qcheck_model;
     ]
 end
+
+(* ------------------------------------------------------------------ *)
+(* Ranged structures: anything exposing point membership ops plus an
+   atomic range query (the sharded store, its backends). The sequential
+   model cross-checks every point return value AND every range result
+   against Set.Make(Int) restricted to [lo, hi]. *)
+
+module type RANGED = sig
+  type t
+
+  val name : string
+  val key_range : int
+  (** keys are drawn from [0, key_range) *)
+
+  val create : Ctx.t -> t
+  val insert : Ctx.t -> t -> int -> bool
+  val delete : Ctx.t -> t -> int -> bool
+  val contains : Ctx.t -> t -> int -> bool
+  val range : Ctx.t -> t -> lo:int -> hi:int -> int list
+end
+
+module Make_ranged (R : RANGED) = struct
+  let oracle_range oracle ~lo ~hi =
+    Oracle.elements (Oracle.filter (fun k -> k >= lo && k <= hi) oracle)
+
+  (* One op against both the structure and the oracle; false on divergence. *)
+  let step ctx s oracle (kind, k, k2) =
+    match kind with
+    | 0 ->
+        let expected = not (Oracle.mem k !oracle) in
+        oracle := Oracle.add k !oracle;
+        R.insert ctx s k = expected
+    | 1 ->
+        let expected = Oracle.mem k !oracle in
+        oracle := Oracle.remove k !oracle;
+        R.delete ctx s k = expected
+    | 2 -> R.contains ctx s k = Oracle.mem k !oracle
+    | _ ->
+        let lo = min k k2 and hi = max k k2 in
+        R.range ctx s ~lo ~hi = oracle_range !oracle ~lo ~hi
+
+  let test_sequential_ranged () =
+    let m = machine () in
+    Harness.exec1 m (fun ctx ->
+        let s = R.create ctx in
+        let g = Prng.create ~seed:4243 in
+        let oracle = ref Oracle.empty in
+        for i = 1 to 800 do
+          let kind = Prng.int g 4 in
+          let k = Prng.int g R.key_range in
+          let k2 = Prng.int g R.key_range in
+          check_bool
+            (Printf.sprintf "%s op %d (kind %d)" R.name i kind)
+            true
+            (step ctx s oracle (kind, k, k2))
+        done)
+
+  let qcheck_ranged =
+    QCheck.Test.make ~count:50
+      ~name:(R.name ^ " qcheck ranged model vs Set.Make(Int)")
+      QCheck.(
+        list
+          (triple (int_bound 3)
+             (int_bound (R.key_range - 1))
+             (int_bound (R.key_range - 1))))
+      (fun ops ->
+        let m = machine () in
+        Harness.exec1 m (fun ctx ->
+            let s = R.create ctx in
+            let oracle = ref Oracle.empty in
+            List.for_all (step ctx s oracle) ops))
+
+  let cases =
+    [
+      Alcotest.test_case (R.name ^ " sequential ranged oracle") `Quick
+        test_sequential_ranged;
+      QCheck_alcotest.to_alcotest qcheck_ranged;
+    ]
+end

@@ -104,6 +104,58 @@ let prop_spec_roundtrip =
       | Ok spec' -> spec' = spec
       | Error _ -> false)
 
+let prop_shard_hot_roundtrip =
+  (* of_seed never draws Shard_hot (CI adversarial expectations are pinned
+     to the historical plan space), so round-trip it directly: any
+     shards/theta combination must survive to_string >> of_string, alone
+     and alongside the other groups. *)
+  QCheck.Test.make ~name:"shard-hot spec round-trip" ~count:200
+    QCheck.(triple (int_range 1 64) (int_bound 30) bool)
+    (fun (shards, t10, adaptive) ->
+      let spec =
+        {
+          Inject.none with
+          distribution = Shard_hot { shards; theta = float_of_int t10 /. 10.0 };
+          adaptive;
+        }
+      in
+      match Inject.of_string (Inject.to_string spec) with
+      | Ok spec' -> spec' = spec
+      | Error _ -> false)
+
+let test_shard_hot_syntax () =
+  check_bool "dist=shard parses" true
+    (Inject.of_string "dist=shard,8,1.1"
+    = Ok { Inject.none with distribution = Shard_hot { shards = 8; theta = 1.1 } });
+  check_bool "zero shards rejected" true
+    (match Inject.of_string "dist=shard,0,1.1" with
+    | Error _ -> true
+    | Ok _ -> false);
+  check_bool "negative theta rejected" true
+    (match Inject.of_string "dist=shard,8,-0.5" with
+    | Error _ -> true
+    | Ok _ -> false)
+
+let test_shard_hot_draws_skewed () =
+  (* The draw hook must (a) stay in range, (b) actually heat shard 0:
+     with theta=1.5 over 4 shards, keys = 0 (mod 4) must dominate. *)
+  let spec =
+    { Inject.none with distribution = Shard_hot { shards = 4; theta = 1.5 } }
+  in
+  let range = 64 in
+  let hooks = Scenario.hooks spec ~range in
+  let g = Mt_sim.Prng.create ~seed:42 in
+  let per_shard = Array.make 4 0 in
+  for nth = 0 to 999 do
+    let k = hooks.Explore.draw_key ~prng:g ~nth ~range in
+    check_bool "key in range" true (k >= 0 && k < range);
+    per_shard.(k mod 4) <- per_shard.(k mod 4) + 1
+  done;
+  check_bool "shard 0 hottest" true
+    (per_shard.(0) > per_shard.(1)
+    && per_shard.(1) > per_shard.(3)
+    && per_shard.(0) > 250 (* above the uniform share *))
+
 let test_spec_plain () =
   check_bool "none prints as plain" true (Inject.to_string Inject.none = "plain");
   check_bool "plain parses as none" true
@@ -281,7 +333,10 @@ let () =
           test_of_seed_deterministic
         :: Alcotest.test_case "of_seed varies" `Quick test_of_seed_varies
         :: Alcotest.test_case "plain round-trip" `Quick test_spec_plain
-        :: qsuite [ prop_spec_roundtrip ] );
+        :: Alcotest.test_case "shard-hot syntax" `Quick test_shard_hot_syntax
+        :: Alcotest.test_case "shard-hot draw skewed" `Quick
+             test_shard_hot_draws_skewed
+        :: qsuite [ prop_spec_roundtrip; prop_shard_hot_roundtrip ] );
       ( "zipf",
         Alcotest.test_case "rank ordering" `Quick test_zipf_rank_ordering
         :: qsuite [ prop_zipf_deterministic; prop_zipf_in_range ] );

@@ -161,6 +161,61 @@ let test_snapshot_overflow () =
       | None -> ()
       | Some _ -> Alcotest.fail "expected None on overflow")
 
+let count_kind obs pred =
+  List.length
+    (List.filter (fun (e : Mt_obs.Obs.event) -> pred e.kind) (Mt_obs.Obs.events obs))
+
+let test_snapshot_events () =
+  (* Every snapshot call announces each attempt through Obs, and each
+     failed validation is reported before the retry — so, for any run,
+     attempts = calls + invalidations. *)
+  let open Mt_obs in
+  let is_attempt = function Obs.Snap_attempt _ -> true | _ -> false in
+  let is_invalid = function Obs.Snap_invalid _ -> true | _ -> false in
+  (* Quiescent: exactly one attempt over 3 cells and no invalidation. *)
+  let obs = Obs.create ~num_cores:1 () in
+  let m = Machine.create ~obs (Config.default ~num_cores:1 ()) in
+  Harness.exec1 m (fun ctx ->
+      let base = cells ctx 3 7 in
+      match Kcas.snapshot ctx [ base; base + 1; base + 2 ] with
+      | Some [ 7; 7; 7 ] -> ()
+      | _ -> Alcotest.fail "quiescent snapshot wrong");
+  check_int "one attempt, cells=3" 1
+    (count_kind obs (function Obs.Snap_attempt { cells } -> cells = 3 | _ -> false));
+  check_int "no invalidation" 0 (count_kind obs is_invalid);
+  (* Contended: writers keep flipping (a,b); snapshotters retry. *)
+  let threads = 4 in
+  let obs = Obs.create ~num_cores:threads () in
+  let m = Machine.create ~obs (Config.default ~num_cores:threads ()) in
+  let base = Harness.exec1 m (fun ctx -> cells ctx 2 0) in
+  let calls = ref 0 in
+  let (_ : int) =
+    Harness.exec m ~seed:11 ~threads (fun ctx ->
+        if Ctx.core ctx < 2 then
+          for _ = 1 to 100 do
+            let a = Kcas.get ctx base in
+            let b = Kcas.get ctx (base + 1) in
+            if a = b then
+              ignore
+                (Kcas.kcas ctx
+                   [
+                     { Kcas.addr = base; expected = a; desired = a + 1 };
+                     { Kcas.addr = base + 1; expected = b; desired = b + 1 };
+                   ])
+          done
+        else
+          for _ = 1 to 100 do
+            (match Kcas.snapshot ctx [ base; base + 1 ] with
+            | Some [ a; b ] when a = b -> ()
+            | _ -> Alcotest.fail "torn or overflowed snapshot");
+            incr calls
+          done)
+  in
+  let attempts = count_kind obs is_attempt in
+  let invalids = count_kind obs is_invalid in
+  check_int "attempts = calls + invalidations" (!calls + invalids) attempts;
+  check_bool "contention produced validate-fail events" true (invalids > 0)
+
 let test_get_helps () =
   (* A reader encountering a descriptor must complete it and return a
      consistent value. Orchestrated: writer parks mid-operation is not
@@ -257,6 +312,7 @@ let () =
         [
           Alcotest.test_case "consistency" `Quick test_snapshot_consistency;
           Alcotest.test_case "overflow" `Quick test_snapshot_overflow;
+          Alcotest.test_case "obs events" `Quick test_snapshot_events;
           Alcotest.test_case "reads help" `Quick test_get_helps;
         ] );
       ( "explorer",

@@ -1,0 +1,386 @@
+(* Tests for the sharded multi-structure store (lib/store): routing
+   determinism, the sequential map+range-query model per backend
+   (set_battery's ranged battery), transaction atomicity under fuzzed
+   schedules with the coherence audit on, point/txn/scan linearizability
+   via the generic Wing-Gong checker, serve-layer conservation, and the
+   house invariants (byte-identical across --jobs and with tracing on or
+   off). *)
+
+open Mt_sim
+open Mt_core
+module Store = Mt_store.Store
+module Backend = Mt_store.Backend
+module Store_serve = Mt_store.Store_serve
+module Serve = Mt_serve.Server
+module Linearize = Mt_check.Linearize
+module Obs = Mt_obs.Obs
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let machine ?(cores = 8) () =
+  Machine.create (Config.default ~num_cores:cores ())
+
+let backend name =
+  match Backend.by_name name with
+  | Some b -> b
+  | None -> Alcotest.failf "unknown backend %s" name
+
+(* Every registered backend, exercised by the cross-backend tests. *)
+let backend_names = List.map fst Backend.all
+
+(* ------------------------------------------------------------------ *)
+(* Routing: pure hash partitioning, deterministic reruns. *)
+
+let test_routing () =
+  let m = machine () in
+  Harness.exec1 m (fun ctx ->
+      let s = Store.create (backend "hoh-list") ctx ~shards:4 ~key_space:64 in
+      check_int "shards" 4 (Store.num_shards s);
+      check_int "key space" 64 (Store.key_space s);
+      for k = 0 to 63 do
+        check_int "shard_of is k mod shards" (k mod 4) (Store.shard_of s k)
+      done;
+      (* Each point op lands on exactly its key's shard counter. *)
+      for k = 0 to 15 do
+        ignore (Store.insert ctx s k)
+      done;
+      let st = Store.stats s in
+      Array.iteri (fun _ n -> check_int "4 ops per shard" 4 n) st.shard_ops;
+      check_int "point ops counted" 16 st.point_ops)
+
+let test_determinism () =
+  (* Two identical concurrent runs must agree bit-for-bit: duration, final
+     contents, stats, and machine counters. *)
+  List.iter
+    (fun bname ->
+      let run () =
+        let m = machine ~cores:4 () in
+        let s =
+          Harness.exec1 m (fun ctx ->
+              Store.create (backend bname) ctx ~shards:4 ~key_space:32)
+        in
+        let d =
+          Harness.exec m ~seed:17 ~threads:4 (fun ctx ->
+              let g = Ctx.prng ctx in
+              for _ = 1 to 60 do
+                let k = Prng.int g 32 in
+                match Prng.int g 4 with
+                | 0 -> ignore (Store.insert ctx s k)
+                | 1 -> ignore (Store.delete ctx s k)
+                | 2 -> ignore (Store.get ctx s k)
+                | _ -> ignore (Store.txn ctx s [ (k, Store.Insert); ((k + 7) mod 32, Store.Delete) ])
+              done)
+        in
+        ( d,
+          Store.to_list_unsafe m s,
+          Store.stats s,
+          (Machine.total_stats m).Stats.l1_misses )
+      in
+      check_bool (bname ^ " bit-identical reruns") true (run () = run ()))
+    backend_names
+
+(* ------------------------------------------------------------------ *)
+(* Sequential map + range-query model (set_battery's ranged battery). *)
+
+let ranged_battery bname =
+  let module R = struct
+    type t = Store.t
+
+    let name = "store-" ^ bname
+    let key_range = 48
+
+    let create ctx =
+      Store.create (backend bname) ctx ~shards:4 ~key_space:key_range
+
+    let insert = Store.insert
+    let delete = Store.delete
+    let contains = Store.get
+    let range ctx t ~lo ~hi = Store.scan ctx t ~lo ~hi
+  end in
+  let module B = Set_battery.Make_ranged (R) in
+  B.cases
+
+(* ------------------------------------------------------------------ *)
+(* Transaction atomicity under fuzzed schedules.
+
+   Writers keep the pair (k, k+half) — two different shards — together:
+   both inserted or both deleted in one txn. Readers observe each pair
+   through a Get txn. Any observation of a half-pair is a torn commit.
+   Swept over seeds with a fresh exploration policy per run and the MESI
+   coherence audit after each. *)
+
+let test_txn_atomicity () =
+  let shards = 4 and key_space = 16 in
+  let half = key_space / 2 in
+  List.iter
+    (fun bname ->
+      for seed = 0 to 9 do
+        let threads = 4 in
+        let m = machine ~cores:threads () in
+        let s =
+          Harness.exec1 m (fun ctx ->
+              Store.create (backend bname) ctx ~shards ~key_space)
+        in
+        let torn = ref 0 and committed = ref 0 and aborted = ref 0 in
+        let (_ : int) =
+          Harness.exec m ~seed
+            ~policy:(Runtime.random_policy ~seed:(seed + 100) ())
+            ~threads
+            (fun ctx ->
+              let g = Ctx.prng ctx in
+              for _ = 1 to 40 do
+                let k = Prng.int g half in
+                if Ctx.core ctx < threads - 1 then begin
+                  let op = if Prng.bool g then Store.Insert else Store.Delete in
+                  match Store.txn ctx s [ (k, op); (k + half, op) ] with
+                  | Store.Committed _ -> incr committed
+                  | Store.Aborted { cause; retries } ->
+                      incr aborted;
+                      check_bool "abort cause named" true
+                        (cause = "shard-locked" || cause = "version-changed");
+                      check_bool "abort after full retry budget" true
+                        (retries > 0)
+                end
+                else begin
+                  match
+                    Store.txn ctx s [ (k, Store.Get); (k + half, Store.Get) ]
+                  with
+                  | Store.Committed [ a; b ] ->
+                      incr committed;
+                      if a <> b then incr torn
+                  | Store.Committed _ -> Alcotest.fail "txn arity"
+                  | Store.Aborted _ -> incr aborted
+                end
+              done)
+        in
+        Machine.check_coherence m;
+        check_int
+          (Printf.sprintf "%s seed %d: no torn pair observed" bname seed)
+          0 !torn;
+        (* The final contents keep pairs whole too. *)
+        let final = Store.to_list_unsafe m s in
+        List.iter
+          (fun k ->
+            let mate = if k < half then k + half else k - half in
+            check_bool "final pairs whole" true (List.mem mate final))
+          final;
+        check_bool "some txns committed" true (!committed > 0);
+        let st = Store.stats s in
+        check_int "txn accounting" (!committed + !aborted)
+          (st.txn_commits + st.txn_aborts)
+      done)
+    backend_names
+
+(* ------------------------------------------------------------------ *)
+(* Linearizability of the full mixed history (point + txn + scan).
+
+   A scan or a multi-key txn is not per-key decomposable, so instead of
+   Linearize.check_set we drive the generic Wing-Gong checker with a
+   whole-store oracle: the state is the sorted key list, and each
+   operation carries its observed result — apply returns whether the
+   oracle agrees, so a history linearizes iff some ordering makes every
+   observation consistent. Aborted txns ran no sub-op and are excluded. *)
+
+type whole_op =
+  | Point of Store.op * int * bool
+  | Txn of (int * Store.op) list * bool list
+  | Scan of int * int * int list
+
+let apply_sub state (k, op) =
+  match op with
+  | Store.Get -> (List.mem k state, state)
+  | Store.Insert ->
+      if List.mem k state then (false, state)
+      else (true, List.sort compare (k :: state))
+  | Store.Delete ->
+      if List.mem k state then (true, List.filter (fun x -> x <> k) state)
+      else (false, state)
+
+let whole_model : (int list, whole_op) Linearize.model =
+  {
+    apply =
+      (fun state op ->
+        match op with
+        | Point (o, k, observed) ->
+            let r, state' = apply_sub state (k, o) in
+            (r = observed, state')
+        | Txn (ops, observed) ->
+            let rs, state' =
+              List.fold_left
+                (fun (acc, st) sub ->
+                  let r, st' = apply_sub st sub in
+                  (r :: acc, st'))
+                ([], state) ops
+            in
+            (List.rev rs = observed, state')
+        | Scan (lo, hi, observed) ->
+            (List.filter (fun k -> k >= lo && k <= hi) state = observed, state));
+  }
+
+let test_mixed_linearizable () =
+  List.iter
+    (fun bname ->
+      for seed = 0 to 4 do
+        let threads = 3 in
+        let m = machine ~cores:threads () in
+        let s =
+          Harness.exec1 m (fun ctx ->
+              Store.create (backend bname) ctx ~shards:4 ~key_space:12)
+        in
+        let log : whole_op Linearize.entry list ref = ref [] in
+        let record t_inv t_res op =
+          log := { Linearize.op; result = true; t_inv; t_res } :: !log
+        in
+        let (_ : int) =
+          Harness.exec m ~seed
+            ~policy:(Runtime.random_policy ~seed:(seed + 50) ())
+            ~threads
+            (fun ctx ->
+              let g = Ctx.prng ctx in
+              for _ = 1 to 12 do
+                let k = Prng.int g 12 in
+                let t0 = Ctx.now ctx in
+                match Prng.int g 5 with
+                | 0 | 1 ->
+                    let o =
+                      match Prng.int g 3 with
+                      | 0 -> Store.Insert
+                      | 1 -> Store.Delete
+                      | _ -> Store.Get
+                    in
+                    let r =
+                      match o with
+                      | Store.Insert -> Store.insert ctx s k
+                      | Store.Delete -> Store.delete ctx s k
+                      | Store.Get -> Store.get ctx s k
+                    in
+                    record t0 (Ctx.now ctx) (Point (o, k, r))
+                | 2 | 3 ->
+                    let k2 = (k + 5) mod 12 in
+                    let ops = [ (k, Store.Insert); (k2, Store.Delete) ] in
+                    (match Store.txn ctx s ops with
+                    | Store.Committed rs -> record t0 (Ctx.now ctx) (Txn (ops, rs))
+                    | Store.Aborted _ -> ())
+                | _ ->
+                    let lo = Prng.int g 8 in
+                    let hi = lo + Prng.int g (12 - lo) in
+                    let got = Store.scan ctx s ~lo ~hi in
+                    record t0 (Ctx.now ctx) (Scan (lo, hi, got))
+              done)
+        in
+        Machine.check_coherence m;
+        let entries = Array.of_list !log in
+        match Linearize.check whole_model ~init:[] entries with
+        | Ok states ->
+            (* The memory the run left behind must be a reachable state. *)
+            let final = Store.to_list_unsafe m s in
+            check_bool
+              (Printf.sprintf "%s seed %d: final contents reachable" bname seed)
+              true
+              (List.mem final states)
+        | Error window ->
+            Alcotest.failf "%s seed %d: history not linearizable (%d-op window)"
+              bname seed (Array.length window)
+      done)
+    backend_names
+
+(* ------------------------------------------------------------------ *)
+(* Serve integration: conservation, per-class accounting, and the
+   jobs/tracing invariance contract. *)
+
+let store_spec bname =
+  Store_serve.spec ~shards:4 ~key_space:4096 ~prefill:128 ~scan_width:256
+    ~backend:(backend bname)
+    ~mix:(Store_serve.mix ~point_pct:70 ~txn_pct:20)
+    ()
+
+let serve_config () =
+  Serve.config ~workers:3 ~batch:2 ~queue_capacity:32 ~rate_per_kcycle:4.0
+    ~horizon:30_000 ()
+
+let test_serve_conservation () =
+  List.iter
+    (fun bname ->
+      let r, st = Store_serve.run (store_spec bname) (serve_config ()) in
+      check_int (bname ^ " conservation") r.Serve.generated
+        (r.Serve.completed + r.Serve.dropped + r.Serve.still_queued);
+      check_int (bname ^ " queues drained") 0 r.Serve.still_queued;
+      (* Per-class completions partition the total. *)
+      check_int (bname ^ " class partition") r.Serve.completed
+        (Array.fold_left ( + ) 0 r.Serve.class_counts);
+      check_bool (bname ^ " class labels") true
+        (r.Serve.class_names = Store_serve.classes);
+      (* The store saw every completed request exactly once. *)
+      check_int
+        (bname ^ " completions = store ops")
+        r.Serve.completed
+        (st.Store.point_ops + st.Store.txn_commits + st.Store.txn_aborts
+       + st.Store.scans))
+    backend_names
+
+let test_serve_tracing_invariance () =
+  (* A full recording sink must not perturb the run: every deterministic
+     result field identical, with and without tracing. *)
+  List.iter
+    (fun bname ->
+      let bare, st1 = Store_serve.run (store_spec bname) (serve_config ()) in
+      let obs = Obs.create ~num_cores:4 () in
+      let traced, st2 =
+        Store_serve.run ~obs (store_spec bname) (serve_config ())
+      in
+      check_bool (bname ^ " tracing non-perturbing") true
+        ({ bare with Serve.backend = "" } = { traced with Serve.backend = "" }
+        && bare.Serve.backend = traced.Serve.backend);
+      check_bool (bname ^ " store stats identical") true (st1 = st2);
+      (* And the trace actually recorded store activity. *)
+      let kinds = List.map (fun (e : Obs.event) -> e.kind) (Obs.events obs) in
+      check_bool (bname ^ " store events present") true
+        (List.exists (function Obs.Store_op _ -> true | _ -> false) kinds))
+    backend_names
+
+let test_serve_jobs_invariance () =
+  (* The sweep contract: mapping the same points over 1 and 2 domains must
+     produce identical results in identical order. *)
+  let points =
+    List.concat_map
+      (fun bname -> [ (bname, 3.0); (bname, 8.0) ])
+      [ "hoh-list"; "hoh-abtree" ]
+  in
+  let sweep jobs =
+    Mt_par.Pool.map ~jobs
+      (fun (bname, rate) ->
+        let c = { (serve_config ()) with Serve.rate_per_kcycle = rate } in
+        let r, st = Store_serve.run (store_spec bname) c in
+        (r.Serve.generated, r.Serve.completed, r.Serve.duration, st))
+      points
+  in
+  check_bool "jobs=1 equals jobs=2" true (sweep 1 = sweep 2)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "mt_store"
+    ([
+       ( "routing",
+         [
+           Alcotest.test_case "hash partitioning" `Quick test_routing;
+           Alcotest.test_case "determinism" `Quick test_determinism;
+         ] );
+       ( "txn",
+         [ Alcotest.test_case "atomicity under fuzz" `Slow test_txn_atomicity ] );
+       ( "linearizability",
+         [
+           Alcotest.test_case "mixed point/txn/scan histories" `Slow
+             test_mixed_linearizable;
+         ] );
+       ( "serve",
+         [
+           Alcotest.test_case "conservation" `Quick test_serve_conservation;
+           Alcotest.test_case "tracing invariance" `Quick
+             test_serve_tracing_invariance;
+           Alcotest.test_case "jobs invariance" `Quick test_serve_jobs_invariance;
+         ] );
+     ]
+    @ List.map (fun bname -> ("ranged-" ^ bname, ranged_battery bname))
+        backend_names)
