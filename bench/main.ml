@@ -4,9 +4,9 @@
    micro-benchmarks of the primitive operations.
 
    Usage:  dune exec bench/main.exe [-- fig2 fig5 fig6 fig7 fig8 spurious
-                                        ablation micro latency store timeline
-                                        speed summary quick
-                                        --jobs N --json FILE --note k=v]
+                                        ablation micro latency store
+                                        contention timeline speed summary
+                                        quick --jobs N --json FILE --note k=v]
 
    "latency" has no paper counterpart: it drives the open-loop service
    layer (lib/serve) over list/tree/STM backends, sweeping offered load
@@ -15,6 +15,11 @@
    "store" drives the sharded multi-structure store (lib/store) through
    the same open-loop serve layer under point/txn/scan request-kind
    mixes, one saturation curve per backend x mix.
+   "contention" sweeps the restart contention-management policy
+   (immediate/backoff/politeness/adaptive, lib/cm) against thread count
+   and Zipfian key skew over four restart-loop shapes (HoH list, HoH
+   (a,b)-tree, tagged NOrec, store transactions), reporting throughput
+   relative to the immediate baseline plus the policy wait counters.
    "speed" times the latency panel's phase-1 calibration against the
    host's wall clock and reports simulated ops per wall-second (the
    simulator's own speed; host-dependent, exported only under "notes").
@@ -668,6 +673,217 @@ let store () =
     calibrated
 
 (* ------------------------------------------------------------------ *)
+(* Contention panel: restart-management policy x thread count x Zipfian
+   skew, over four backends chosen for their different restart loops —
+   the HoH list (VAS/IAS storms on a short hot list), the HoH (a,b)-tree
+   (locate/commit restarts over a wider structure), tagged NOrec (STM
+   abort/retry on the global seqlock) and the sharded store's transaction
+   path (kCAS + shard-lock acquisition retries). Every point reuses the
+   same per-core PRNG streams regardless of policy (jitter draws come
+   from a separate split stream), so the offered operation sequence is
+   identical across policies and throughput differences are pure
+   contention-management effect. *)
+
+module Cm = Mt_cm.Cm
+module Zipf = Mt_adversary.Zipf
+module Ctx = Mt_core.Ctx
+
+let contention_policies =
+  [ Cm.immediate; Cm.backoff (); Cm.politeness (); Cm.adaptive () ]
+
+let contention_backends = [ "hoh-list"; "hoh-abtree"; "norec-tagged"; "store-txn" ]
+
+let contention_spec ~range ~insert_pct ~delete_pct ~threads =
+  Spec.make ~key_range:range ~insert_pct ~delete_pct ~threads
+    ~warmup_cycles:(if !quick then 10_000 else 30_000)
+    ~measure_cycles:(if !quick then 60_000 else 150_000)
+    ()
+
+(* Write-heavy Zipf-keyed set workload (45i/45d/10c). The hot rank maps
+   to the LARGEST key, so for ordered structures the contended nodes sit
+   at the end of the longest traversal path — a restart throws away the
+   whole hand-over-hand walk, which is exactly the storm contention
+   management exists to calm. *)
+let contention_set_point ?cfg (module S : Mt_list.Set_intf.SET) ~range ~theta
+    ~cm ~threads =
+  let z = Zipf.create ~n:range ~theta in
+  let spec = contention_spec ~range ~insert_pct:45 ~delete_pct:45 ~threads in
+  Driver.run_custom ?cfg ~cm ~name:S.name
+    ~setup:(fun ctx ->
+      let s = S.create ctx in
+      let g = Prng.create ~seed:(spec.Spec.seed + 1) in
+      for k = 0 to range - 1 do
+        if Prng.float g < spec.Spec.init_fill then ignore (S.insert ctx s k)
+      done;
+      s)
+    ~op:(fun ctx s ->
+      let g = Ctx.prng ctx in
+      let k = range - 1 - Zipf.sample z g in
+      let r = Prng.int g 100 in
+      if r < 45 then ignore (S.insert ctx s k)
+      else if r < 90 then ignore (S.delete ctx s k)
+      else ignore (S.contains ctx s k))
+    spec
+
+(* Zipf-keyed transfer transactions over a word array on tagged NOrec:
+   every transaction reads and writes two skew-chosen cells, so the hot
+   ranks produce genuine read/write conflicts, not just seqlock churn. *)
+let contention_stm_point ~range ~theta ~cm ~threads =
+  let module S = Mt_stm.Norec_tagged in
+  let z = Zipf.create ~n:range ~theta in
+  let spec = contention_spec ~range ~insert_pct:0 ~delete_pct:0 ~threads in
+  Driver.run_custom ~cm ~name:"norec-tagged"
+    ~setup:(fun ctx ->
+      let stm = S.create ctx in
+      let base = Ctx.alloc ~label:"cm-bank" ctx ~words:range in
+      for i = 0 to range - 1 do
+        Ctx.write ctx (base + i) 0
+      done;
+      (stm, base))
+    ~op:(fun ctx (stm, base) ->
+      let g = Ctx.prng ctx in
+      let a = base + Zipf.sample z g in
+      let b = base + Zipf.sample z g in
+      S.atomically ctx stm (fun tx ->
+          let va = S.read tx a and vb = S.read tx b in
+          S.write tx a (va + 1);
+          S.write tx b (vb - 1)))
+    spec
+
+(* Zipf-keyed 3-key transactions against the sharded store (hoh-list
+   shards): hot ranks all route to the same shard, so its version word
+   becomes the contended site for the shard-lock retry loop. *)
+let contention_store_point ~theta ~cm ~threads =
+  let key_space = 8192 and shards = 8 and txn_keys = 3 in
+  let z = Zipf.create ~n:key_space ~theta in
+  let backend =
+    match Store_backend.by_name "hoh-list" with
+    | Some b -> b
+    | None -> failwith "bench contention: unknown store backend"
+  in
+  let spec =
+    contention_spec ~range:key_space ~insert_pct:0 ~delete_pct:0 ~threads
+  in
+  Driver.run_custom ~cm ~name:"store-txn"
+    ~setup:(fun ctx ->
+      let st = Store.create backend ctx ~shards ~key_space in
+      let g = Prng.create ~seed:(spec.Spec.seed + 1) in
+      for _ = 1 to 1024 do
+        ignore (Store.insert ctx st (Prng.int g key_space))
+      done;
+      Store.reset_stats st;
+      st)
+    ~op:(fun ctx st ->
+      let g = Ctx.prng ctx in
+      let rec build i acc =
+        if i = 0 then acc
+        else
+          let k = Zipf.sample z g in
+          let o =
+            match Prng.int g 3 with
+            | 0 -> Store.Insert
+            | 1 -> Store.Delete
+            | _ -> Store.Get
+          in
+          build (i - 1) ((k, o) :: acc)
+      in
+      ignore (Store.txn ctx st (build txn_keys [])))
+    spec
+
+let contention_rows :
+    (string * string * int * float * Driver.result) list ref = ref []
+
+let contention () =
+  print_endline
+    "\n=== Contention management: policy x threads x Zipf skew ===";
+  let threads_list = if !quick then [ 8; 64 ] else [ 4; 16; 64 ] in
+  let thetas = if !quick then [ 0.99; 2.0 ] else [ 0.6; 0.99; 2.0 ] in
+  let points =
+    List.concat_map
+      (fun backend ->
+        List.concat_map
+          (fun pol ->
+            List.concat_map
+              (fun threads ->
+                List.map (fun theta -> (backend, pol, threads, theta)) thetas)
+              threads_list)
+          contention_policies)
+      contention_backends
+  in
+  let results =
+    Pool.map ~jobs:(pjobs ())
+      (fun (backend, pol, threads, theta) ->
+        (* The set-structure points run the conservative IAS variant
+           (paper §3's sketch; the same knob as the ablation panel):
+           every successful delete elevates the whole tag set to M, so
+           each success invalidates all concurrent walkers sharing the
+           hot lines and the restart storm has a real fabric cost. The
+           2048-node list is where storms bite hardest: one restart
+           forfeits a full L2-latency hand-over-hand walk. *)
+        let conservative threads =
+          { (Config.default ~num_cores:threads ()) with
+            Config.ias_tag_targeted = false }
+        in
+        match backend with
+        | "hoh-list" ->
+            contention_set_point ~cfg:(conservative threads)
+              (module Mt_list.Hoh_list)
+              ~range:2048 ~theta ~cm:pol ~threads
+        | "hoh-abtree" ->
+            contention_set_point ~cfg:(conservative threads)
+              (module Abtree_hoh)
+              ~range:tree_range ~theta ~cm:pol ~threads
+        | "norec-tagged" ->
+            contention_stm_point ~range:1024 ~theta ~cm:pol ~threads
+        | _ -> contention_store_point ~theta ~cm:pol ~threads)
+      points
+  in
+  let tagged =
+    List.map2
+      (fun (b, pol, t, th) r -> (b, Cm.spec_name pol, t, th, r))
+      points results
+  in
+  contention_rows := tagged;
+  List.iter
+    (fun backend ->
+      let rows = List.filter (fun (b, _, _, _, _) -> b = backend) tagged in
+      let imm_thr t th =
+        List.find_map
+          (fun (_, pol, t', th', (r : Driver.result)) ->
+            if pol = "immediate" && t' = t && th' = th then
+              Some r.Driver.throughput
+            else None)
+          rows
+      in
+      let body =
+        List.map
+          (fun (_, pol, t, th, (r : Driver.result)) ->
+            let vs =
+              match imm_thr t th with
+              | Some base when base > 0.0 ->
+                  Printf.sprintf "%.2fx" (r.Driver.throughput /. base)
+              | _ -> "-"
+            in
+            [
+              pol;
+              string_of_int t;
+              Printf.sprintf "%.2f" th;
+              Report.f2 r.Driver.throughput;
+              vs;
+              string_of_int r.Driver.stats.Stats.cm_waits;
+              string_of_int r.Driver.stats.Stats.cm_wait_cycles;
+            ])
+          rows
+      in
+      Report.table
+        ~title:(Printf.sprintf "Contention — %s" backend)
+        ~columns:
+          [ "policy"; "threads"; "theta"; "thr/kcyc"; "vs imm"; "cm waits";
+            "wait cycles" ]
+        body)
+    contention_backends
+
+(* ------------------------------------------------------------------ *)
 (* Wall-clock speed of the simulator itself: how many simulated requests
    the host executes per wall-second on the BENCH_3 phase-1 calibration
    microbench (all three serve backends saturated at 200 req/kcycle over
@@ -955,6 +1171,8 @@ let export_json file =
                  ("txn_aborts", Json.Int st.txn_aborts);
                  ("txn_sub_ops", Json.Int st.txn_sub_ops);
                  ("txn_retries", Json.Int st.txn_retries);
+                 ("txn_retries_locked", Json.Int st.txn_retries_locked);
+                 ("txn_retries_version", Json.Int st.txn_retries_version);
                  ("scans", Json.Int st.scans);
                  ("scan_collects", Json.Int st.scan_collects);
                  ("scan_tag_fallbacks", Json.Int st.scan_tag_fallbacks);
@@ -967,6 +1185,25 @@ let export_json file =
                ]);
           ])
       !store_rows
+  in
+  let contention_points =
+    List.map
+      (fun (backend, policy, threads, theta, (r : Driver.result)) ->
+        Json.Obj
+          [
+            ("backend", Json.String backend);
+            ("policy", Json.String policy);
+            ("threads", Json.Int threads);
+            ("theta", Json.Float theta);
+            ("result", Driver.result_to_json r);
+            ( "cm",
+              Json.Obj
+                [
+                  ("waits", Json.Int r.Driver.stats.Stats.cm_waits);
+                  ("wait_cycles", Json.Int r.Driver.stats.Stats.cm_wait_cycles);
+                ] );
+          ])
+      !contention_rows
   in
   let headline =
     List.map
@@ -1002,7 +1239,7 @@ let export_json file =
   let doc =
     Json.Obj
       ([
-         ("schema_version", Json.Int 4);
+         ("schema_version", Json.Int 5);
          ("generator", Json.String "memory-tagging-sim bench/main.exe");
          ("quick", Json.Bool !quick);
          ("figures", Json.Obj figures);
@@ -1010,6 +1247,7 @@ let export_json file =
          ("headline", Json.List headline);
          ("latency", Json.List latency_points);
          ("store", Json.List store_points);
+         ("contention", Json.List contention_points);
          ("timeseries", Json.List !timeline_rows);
        ]
       @ note_fields)
@@ -1060,6 +1298,7 @@ let () =
   if want "ablation" then ablation ();
   if want "latency" then latency ();
   if want "store" then store ();
+  if want "contention" then contention ();
   if want "timeline" then timeline ();
   if want "speed" then speed ();
   if want "micro" then micro ();

@@ -5,12 +5,16 @@
    Usage:  json_check [--bench|--trace] FILE...
 
    --bench  additionally requires a top-level object with an integer
-            "schema_version" field of at least 4 — older emitters must be
+            "schema_version" field of at least 5 — older emitters must be
             regenerated, not re-validated. Every store point (any object
             carrying both "backend" and "mix") must carry integer mix
             percentages summing to 100, a "result" object and a "store"
-            counters object (txn commit/abort, scan validation, per-shard
-            routing), and every time-series window a "store" panel.
+            counters object (txn commit/abort, per-cause retry split,
+            scan validation, per-shard routing); every time-series window
+            a "store" and a "cm" panel; and every contention point (any
+            object carrying both "policy" and "theta") a "result" object
+            plus a "cm" object with non-negative integer waits and
+            wait_cycles.
             Inherited from schema_version >= 2: every
             benchmark point (any object carrying both "impl" and "ops")
             must also carry a fully self-describing "spec" object
@@ -59,15 +63,15 @@ let series_fields =
 let window_fields =
   [
     "t0"; "t1"; "ops"; "aborts"; "tags"; "mem"; "heat"; "serve"; "store";
-    "latency";
+    "cm"; "latency";
   ]
 
 (* The counters object every sharded-store point must carry at v4. *)
 let store_stat_fields =
   [
     "point_ops"; "txn_commits"; "txn_aborts"; "txn_sub_ops"; "txn_retries";
-    "scans"; "scan_collects"; "scan_tag_fallbacks"; "scan_shard_retries";
-    "shard_ops"; "imbalance";
+    "txn_retries_locked"; "txn_retries_version"; "scans"; "scan_collects";
+    "scan_tag_fallbacks"; "scan_shard_retries"; "shard_ops"; "imbalance";
   ]
 
 (* Walk the whole document: any object that looks like a benchmark point
@@ -75,7 +79,7 @@ let store_stat_fields =
    service point (has both "backend" and "goodput_per_kcycle"). At
    schema v3, additionally: no bare nulls anywhere, headline rows carry
    a measurement or an explicit skip, and Series exports are complete. *)
-let rec check_points ?(v3 = false) ?(v4 = false) path j =
+let rec check_points ?(v3 = false) ?(v4 = false) ?(v5 = false) path j =
   (if v3 then match j with
    | Json.Null -> fail "%s: bare null (schema v3 wants explicit skips)" path
    | _ -> ());
@@ -108,6 +112,27 @@ let rec check_points ?(v3 = false) ?(v4 = false) path j =
                       fail "%s: store point counters lack %S" path f)
                   store_stat_fields
             | _ -> fail "%s: store point lacks a \"store\" counters object" path)
+        | _ -> ()
+      end;
+      if v5 then begin
+        match (Json.member "policy" j, Json.member "theta" j) with
+        | Some (Json.String _), Some (Json.Float _ | Json.Int _) ->
+            (match Json.member "result" j with
+            | Some (Json.Obj _) -> ()
+            | _ -> fail "%s: contention point lacks a \"result\" object" path);
+            (match Json.member "cm" j with
+            | Some (Json.Obj _ as cm) ->
+                List.iter
+                  (fun f ->
+                    match Json.member f cm with
+                    | Some (Json.Int n) when n >= 0 -> ()
+                    | _ ->
+                        fail
+                          "%s: contention point cm.%s must be a non-negative \
+                           integer"
+                          path f)
+                  [ "waits"; "wait_cycles" ]
+            | _ -> fail "%s: contention point lacks a \"cm\" object" path)
         | _ -> ()
       end;
       if v3 then begin
@@ -172,19 +197,19 @@ let rec check_points ?(v3 = false) ?(v4 = false) path j =
               serve_fields
         | _ -> fail "%s: service point lacks a \"serve\" object" path
       end;
-      List.iter (fun (_, v) -> check_points ~v3 ~v4 path v) fields
-  | Json.List l -> List.iter (check_points ~v3 ~v4 path) l
+      List.iter (fun (_, v) -> check_points ~v3 ~v4 ~v5 path v) fields
+  | Json.List l -> List.iter (check_points ~v3 ~v4 ~v5 path) l
   | _ -> ()
 
 let check_bench path j =
   match Json.member "schema_version" j with
   | Some (Json.Int v) ->
-      if v < 4 then
+      if v < 5 then
         fail
-          "%s: schema_version %d rejected (v4 required — regenerate with a \
+          "%s: schema_version %d rejected (v5 required — regenerate with a \
            current bench)"
           path v
-      else check_points ~v3:true ~v4:true path j
+      else check_points ~v3:true ~v4:true ~v5:true path j
   | _ -> fail "%s: missing integer schema_version" path
 
 let check_trace path j =

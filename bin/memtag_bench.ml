@@ -104,7 +104,7 @@ let serve chosen rates ~key_range ~insert_pct ~delete_pct ~horizon ~seed
       let doc =
         Json.Obj
           [
-            ("schema_version", Json.Int 4);
+            ("schema_version", Json.Int 5);
             ("generator", Json.String "memory-tagging-sim bin/memtag_bench.exe");
             ("serve_results",
              Json.List
@@ -185,7 +185,7 @@ let run impl_names threads key_range insert_pct delete_pct measure seed all verb
       let doc =
         Json.Obj
           [
-            ("schema_version", Json.Int 4);
+            ("schema_version", Json.Int 5);
             ("generator", Json.String "memory-tagging-sim bin/memtag_bench.exe");
             ("results",
              Json.List

@@ -101,35 +101,32 @@ struct
 
   let select_child ctx node meta k = select_child_gen tread ctx node meta k
 
-  exception Restart
+  exception Restart = Ctx.Restart
 
   (* Hand-over-hand tagged descent toward [k], stopping at the first node
      satisfying [stop] (or at a leaf). Returns
      [(gp, ixp, p, ixc, curr, curr_meta)]: [ixp] is [p]'s slot in [gp],
      [ixc] is [curr]'s slot in [p]; [null]/[-1] when absent. The returned
-     window nodes remain tagged; the caller must clear the tag set. *)
-  let rec locate_gen ctx t k ~stop =
-    match
-      let curr = t.sentinel in
-      let cm = tagged_meta ctx curr in
-      if not (Ctx.validate ctx) then raise Restart;
-      let rec go gp ixp p ixc curr cm =
-        if (p <> null && stop ~p ~meta:cm) || Node_desc.meta_leaf cm then
-          (gp, ixp, p, ixc, curr, cm)
-        else begin
-          let ix, next = select_child ctx curr cm k in
-          let nm = tagged_meta ctx next in
-          if not (Ctx.validate ctx) then raise Restart;
-          if gp <> null then untag ctx gp;
-          go p ixc curr ix next nm
-        end
-      in
-      go null (-1) null (-1) curr cm
-    with
-    | result -> result
-    | exception Restart ->
-        Ctx.clear_tag_set ctx;
-        locate_gen ctx t k ~stop
+     window nodes remain tagged; the caller must clear the tag set.
+     Restarts go through {!Ctx.with_restarts} (clear, consult the
+     contention policy, re-descend). *)
+  let locate_gen ctx t k ~stop =
+    Ctx.with_restarts ~site:t.sentinel ctx (fun () ->
+        let curr = t.sentinel in
+        let cm = tagged_meta ctx curr in
+        if not (Ctx.validate ctx) then raise Restart;
+        let rec go gp ixp p ixc curr cm =
+          if (p <> null && stop ~p ~meta:cm) || Node_desc.meta_leaf cm then
+            (gp, ixp, p, ixc, curr, cm)
+          else begin
+            let ix, next = select_child ctx curr cm k in
+            let nm = tagged_meta ctx next in
+            if not (Ctx.validate ctx) then raise Restart;
+            if gp <> null then untag ctx gp;
+            go p ixc curr ix next nm
+          end
+        in
+        go null (-1) null (-1) curr cm)
 
   let never ~p:_ ~meta:_ = false
 
@@ -147,59 +144,71 @@ struct
   (* Updates. *)
 
   let rec insert ctx t k =
-    let gp, _ixp, p, ixc, u, _um = locate_gen ctx t k ~stop:never in
-    let ud = read_desc ctx u in
-    if Node_desc.leaf_contains ud k then begin
-      Ctx.clear_tag_set ctx;
-      false
-    end
-    else begin
-      (* Only p's slot is written and only u is removed: drop gp's tag to
-         avoid collateral invalidation. *)
-      if gp <> null then untag ctx gp;
-      let target = p + ptrs_off + ixc in
-      let grew = Node_desc.leaf_insert ud k in
-      let ok =
-        if Node_desc.size grew <= b then insert_commit ctx target (write_desc ctx grew)
-        else begin
-          (* Figure 3(b): split into two leaves under a fresh flagged node. *)
-          let l, r, sep = Node_desc.split grew in
-          let la = write_desc ctx l in
-          let ra = write_desc ctx r in
-          let np =
-            write_desc ctx
-              { weight = 0; leaf = false; keys = [| sep |]; ptrs = [| la; ra |] }
-          in
-          insert_commit ctx target np
-        end
-      in
-      Ctx.clear_tag_set ctx;
-      if ok then begin
-        if Node_desc.size grew > b then rebalance ctx t k;
-        true
+    let rec go attempt =
+      let gp, _ixp, p, ixc, u, _um = locate_gen ctx t k ~stop:never in
+      let ud = read_desc ctx u in
+      if Node_desc.leaf_contains ud k then begin
+        Ctx.clear_tag_set ctx;
+        false
       end
-      else insert ctx t k
-    end
+      else begin
+        (* Only p's slot is written and only u is removed: drop gp's tag to
+           avoid collateral invalidation. *)
+        if gp <> null then untag ctx gp;
+        let target = p + ptrs_off + ixc in
+        let grew = Node_desc.leaf_insert ud k in
+        let ok =
+          if Node_desc.size grew <= b then insert_commit ctx target (write_desc ctx grew)
+          else begin
+            (* Figure 3(b): split into two leaves under a fresh flagged node. *)
+            let l, r, sep = Node_desc.split grew in
+            let la = write_desc ctx l in
+            let ra = write_desc ctx r in
+            let np =
+              write_desc ctx
+                { weight = 0; leaf = false; keys = [| sep |]; ptrs = [| la; ra |] }
+            in
+            insert_commit ctx target np
+          end
+        in
+        Ctx.clear_tag_set ctx;
+        if ok then begin
+          if Node_desc.size grew > b then rebalance ctx t k;
+          true
+        end
+        else begin
+          Ctx.cm_wait ~site:target ctx ~attempt;
+          go (attempt + 1)
+        end
+      end
+    in
+    go 0
 
   and delete ctx t k =
-    let gp, _ixp, p, ixc, u, _um = locate_gen ctx t k ~stop:never in
-    let ud = read_desc ctx u in
-    if not (Node_desc.leaf_contains ud k) then begin
-      Ctx.clear_tag_set ctx;
-      false
-    end
-    else begin
-      if gp <> null then untag ctx gp;
-      let target = p + ptrs_off + ixc in
-      let shrunk = Node_desc.leaf_remove ud k in
-      let ok = Ctx.ias ctx target (write_desc ctx shrunk) in
-      Ctx.clear_tag_set ctx;
-      if ok then begin
-        if Node_desc.size shrunk < a && p <> t.sentinel then rebalance ctx t k;
-        true
+    let rec go attempt =
+      let gp, _ixp, p, ixc, u, _um = locate_gen ctx t k ~stop:never in
+      let ud = read_desc ctx u in
+      if not (Node_desc.leaf_contains ud k) then begin
+        Ctx.clear_tag_set ctx;
+        false
       end
-      else delete ctx t k
-    end
+      else begin
+        if gp <> null then untag ctx gp;
+        let target = p + ptrs_off + ixc in
+        let shrunk = Node_desc.leaf_remove ud k in
+        let ok = Ctx.ias ctx target (write_desc ctx shrunk) in
+        Ctx.clear_tag_set ctx;
+        if ok then begin
+          if Node_desc.size shrunk < a && p <> t.sentinel then rebalance ctx t k;
+          true
+        end
+        else begin
+          Ctx.cm_wait ~site:target ctx ~attempt;
+          go (attempt + 1)
+        end
+      end
+    in
+    go 0
 
   (* One rebalancing step at the window (gp, p, u). Returns true on a
      successful IAS; false means "inconsistency or conflict — re-descend".
@@ -389,40 +398,35 @@ struct
   let range ctx t ~lo ~hi =
     let max_tags = (Mt_sim.Machine.cfg (Ctx.machine ctx)).Mt_sim.Config.max_tags in
     let lines_per_node = ((node_words + 7) / 8) + 1 in
-    let rec attempt () =
-      match
-        let budget = ref (max_tags / lines_per_node) in
-        let acc = ref [] in
-        let rec visit node =
-          decr budget;
-          if !budget <= 0 then raise Exit;
-          let (_ : int) = tagged_meta ctx node in
-          if not (Ctx.validate ctx) then raise Restart;
-          let d = read_desc ctx node in
-          if d.leaf then
-            Array.iter (fun k -> if k >= lo && k <= hi then acc := k :: !acc) d.keys
-          else begin
-            let first = Node_desc.child_index d lo in
-            let last = Node_desc.child_index d hi in
-            for i = first to last do
-              visit d.ptrs.(i)
-            done
-          end
-        in
-        visit t.sentinel;
-        List.sort compare !acc
-      with
-      | keys ->
-          Ctx.clear_tag_set ctx;
-          Some keys
-      | exception Restart ->
-          Ctx.clear_tag_set ctx;
-          attempt ()
-      | exception Exit ->
-          Ctx.clear_tag_set ctx;
-          None
-    in
-    attempt ()
+    Ctx.with_restarts ~site:t.sentinel ctx (fun () ->
+        match
+          let budget = ref (max_tags / lines_per_node) in
+          let acc = ref [] in
+          let rec visit node =
+            decr budget;
+            if !budget <= 0 then raise Exit;
+            let (_ : int) = tagged_meta ctx node in
+            if not (Ctx.validate ctx) then raise Restart;
+            let d = read_desc ctx node in
+            if d.leaf then
+              Array.iter (fun k -> if k >= lo && k <= hi then acc := k :: !acc) d.keys
+            else begin
+              let first = Node_desc.child_index d lo in
+              let last = Node_desc.child_index d hi in
+              for i = first to last do
+                visit d.ptrs.(i)
+              done
+            end
+          in
+          visit t.sentinel;
+          List.sort compare !acc
+        with
+        | keys ->
+            Ctx.clear_tag_set ctx;
+            Some keys
+        | exception Exit ->
+            Ctx.clear_tag_set ctx;
+            None)
 
   let check machine t =
     let peek = Mt_sim.Machine.peek machine in

@@ -1,0 +1,162 @@
+(* Contention-management policies (DESIGN §14). Pure wait computation +
+   per-core private state; charging the cycles and emitting Obs events is
+   the caller's job (Mt_core.Ctx), so this layer depends only on the
+   simulator's PRNG and stays usable from any level of the stack.
+
+   Determinism: [Immediate] touches nothing — no PRNG draw, no state —
+   so a run under the default policy is byte-identical to a build that
+   never heard of this module. Backoff jitter comes only from the
+   instance's private stream (split off the context's PRNG by Harness,
+   and only when the policy actually needs it). Politeness derives waits
+   purely from (core, now). *)
+
+type spec =
+  | Immediate
+  | Backoff of { base : int; cap : int }
+  | Politeness of { slot : int; slots : int }
+  | Adaptive of {
+      threshold : int;
+      decay_cycles : int;
+      base : int;
+      cap : int;
+      slot : int;
+      slots : int;
+    }
+
+let default_base = 32
+let default_cap = 4096
+let default_slot = 192
+let default_slots = 8
+
+let immediate = Immediate
+
+let backoff ?(base = default_base) ?(cap = default_cap) () =
+  if base <= 0 || cap < base then invalid_arg "Cm.backoff: need cap >= base > 0";
+  Backoff { base; cap }
+
+let politeness ?(slot = default_slot) ?(slots = default_slots) () =
+  if slot <= 0 || slots <= 0 then invalid_arg "Cm.politeness: need slot, slots > 0";
+  Politeness { slot; slots }
+
+let adaptive ?(threshold = 3) ?(decay_cycles = 2048) ?(base = default_base)
+    ?(cap = default_cap) ?(slot = default_slot) ?(slots = default_slots) () =
+  if threshold <= 0 then invalid_arg "Cm.adaptive: threshold";
+  if decay_cycles <= 0 then invalid_arg "Cm.adaptive: decay_cycles";
+  if base <= 0 || cap < base then invalid_arg "Cm.adaptive: need cap >= base > 0";
+  if slot <= 0 || slots <= 0 then invalid_arg "Cm.adaptive: need slot, slots > 0";
+  Adaptive { threshold; decay_cycles; base; cap; slot; slots }
+
+let spec_name = function
+  | Immediate -> "immediate"
+  | Backoff _ -> "backoff"
+  | Politeness _ -> "politeness"
+  | Adaptive _ -> "adaptive"
+
+let spec_of_string = function
+  | "immediate" -> Ok Immediate
+  | "backoff" -> Ok (backoff ())
+  | "politeness" -> Ok (politeness ())
+  | "adaptive" -> Ok (adaptive ())
+  | s -> Error (Printf.sprintf "unknown contention policy %S" s)
+
+(* min cap (base * 2^attempt) without overflow: base <= cap asr attempt
+   iff base * 2^attempt <= cap (integer division truncates downward, and
+   both sides are non-negative), so the shift only runs when it cannot
+   wrap. The old Server clamp saturated at attempt 20 regardless of cap;
+   this is exact for every attempt. *)
+let capped_backoff ~base ~cap ~attempt =
+  if base <= 0 || cap <= 0 then 0
+  else if attempt >= 62 then cap
+  else if base > cap asr attempt then cap
+  else base lsl attempt
+
+(* Per-location failure counters for Adaptive: a tiny fixed-size
+   direct-mapped table keyed on site address. Collisions just merge two
+   locations' heat — acceptable for a contention heuristic, and it keeps
+   the hot path allocation-free. *)
+type site_slot = {
+  mutable s_site : int;  (* -1 = empty *)
+  mutable s_count : int;
+  mutable s_last : int;  (* sim time of the last recorded failure *)
+}
+
+type t = {
+  spec : spec;
+  core : int;
+  prng : Mt_sim.Prng.t option;
+  table : site_slot array;  (* non-empty only for Adaptive *)
+}
+
+let table_size = 64
+
+let make ?prng spec ~core =
+  let table =
+    match spec with
+    | Adaptive _ ->
+        Array.init table_size (fun _ -> { s_site = -1; s_count = 0; s_last = 0 })
+    | _ -> [||]
+  in
+  { spec; core; prng; table }
+
+let spec t = t.spec
+let is_immediate t = match t.spec with Immediate -> true | _ -> false
+
+(* Half jitter: wait in [b/2, b] so contenders spread without ever
+   collapsing to an immediate retry. Without a private stream the wait
+   is the deterministic upper bound. *)
+let backoff_wait t ~base ~cap ~attempt =
+  let b = capped_backoff ~base ~cap ~attempt in
+  if b <= 1 then b
+  else
+    match t.prng with
+    | None -> b
+    | Some g ->
+        let lo = b / 2 in
+        lo + Mt_sim.Prng.int g (b - lo + 1)
+
+(* Wait until this core's next slot opens; retry immediately while inside
+   our own slot. Pure function of (core, now) — byte-identical across
+   --jobs because [now] is simulated time. *)
+let politeness_wait t ~slot ~slots ~now =
+  let period = slot * slots in
+  let mine = t.core mod slots * slot in
+  let pos = now mod period in
+  let w = (mine - pos + period) mod period in
+  if w = 0 || w > period - slot then 0 else w
+
+let site_slot t site =
+  (* Multiplicative hash (Fibonacci constant); table_size is a power of 2. *)
+  let h = site * 0x9E3779B1 land max_int in
+  t.table.(h land (table_size - 1))
+
+let adaptive_wait t ~threshold ~decay_cycles ~base ~cap ~slot ~slots ~site
+    ~attempt ~now =
+  let s = site_slot t site in
+  if s.s_site <> site then begin
+    s.s_site <- site;
+    s.s_count <- 0
+  end
+  else begin
+    (* Time decay: halve the counter for every decay window since the
+       last failure, so a location that cooled off re-earns its heat. *)
+    let idle = now - s.s_last in
+    if idle >= decay_cycles then begin
+      let halvings = min 30 (idle / decay_cycles) in
+      s.s_count <- s.s_count asr halvings
+    end
+  end;
+  s.s_last <- now;
+  s.s_count <- s.s_count + 1;
+  if s.s_count <= threshold then 0
+  else if s.s_count <= 4 * threshold then
+    backoff_wait t ~base ~cap ~attempt:(min attempt 20)
+  else politeness_wait t ~slot ~slots ~now
+
+let wait t ~site ~attempt ~now =
+  match t.spec with
+  | Immediate -> 0
+  | Backoff { base; cap } -> backoff_wait t ~base ~cap ~attempt:(min attempt 20)
+  | Politeness { slot; slots } -> politeness_wait t ~slot ~slots ~now
+  | Adaptive { threshold; decay_cycles; base; cap; slot; slots } ->
+      adaptive_wait t ~threshold ~decay_cycles ~base ~cap ~slot ~slots ~site
+        ~attempt ~now

@@ -8,15 +8,21 @@ type t = {
   core : int;
   prng : Prng.t;
   stats : Stats.t;  (* the core's counters, cached off the charge path *)
+  cm : Mt_cm.Cm.t;  (* contention-management policy for this core *)
 }
 
 (* Fixed instruction cost of a heap allocation (bump allocator + header). *)
 let alloc_cycles = 8
 
-let make machine ~rt ~core ~prng =
+let make ?cm machine ~rt ~core ~prng =
   if core < 0 || core >= Machine.num_cores machine then
     invalid_arg "Ctx.make: core id out of range";
-  { machine; rt; core; prng; stats = Machine.stats machine ~core }
+  let cm =
+    match cm with
+    | Some c -> c
+    | None -> Mt_cm.Cm.make Mt_cm.Cm.immediate ~core
+  in
+  { machine; rt; core; prng; stats = Machine.stats machine ~core; cm }
 
 let machine t = t.machine
 let runtime t = t.rt
@@ -93,3 +99,53 @@ let ias t addr v =
   ok
 
 let tag_count t = Machine.tag_count t.machine ~core:t.core
+
+(* ------------------------------------------------------------------ *)
+(* Contention management (DESIGN §14). *)
+
+let cm t = t.cm
+let cm_immediate t = Mt_cm.Cm.is_immediate t.cm
+
+(* Charge a policy-imposed wait through the ordinary stall path. Under
+   [Immediate] the policy returns 0 without touching any state, so this
+   is observationally a no-op — no stall, no counters, no event — and
+   runs under the default policy stay byte-identical to a tree that
+   retries unconditionally. *)
+let cm_wait ?(site = 0) t ~attempt =
+  let w = Mt_cm.Cm.wait t.cm ~site ~attempt ~now:(Runtime.clock t.rt) in
+  if w > 0 then begin
+    t.stats.cm_waits <- t.stats.cm_waits + 1;
+    t.stats.cm_wait_cycles <- t.stats.cm_wait_cycles + w;
+    (let o = Machine.obs t.machine in
+     if Mt_obs.Obs.enabled o then
+       Mt_obs.Obs.emit o ~core:t.core ~time:(Runtime.clock t.rt)
+         (Mt_obs.Obs.Cm_wait { site; cycles = w; attempt }));
+    charge t w
+  end
+
+(* For retry sites that already carried a hand-rolled backoff (NOrec's
+   randomized doubling, Store's capped shift): [default] IS today's
+   behavior and runs — including its PRNG draws — only under
+   [Immediate]; any other policy computes the wait itself and the
+   default (and its draws) is skipped entirely. *)
+let cm_wait_default ?(site = 0) t ~attempt ~default =
+  if cm_immediate t then work t (default ()) else cm_wait ~site t ~attempt
+
+exception Restart
+
+let restart _t = raise Restart
+
+(* The shared optimistic-retry combinator: the structures' former
+   copy-pasted [exception Restart -> clear; retry] loops, with the
+   policy hook in one place. Under [Immediate] the expansion is exactly
+   the old loop: clear the tag set and go again. *)
+let with_restarts ?(site = 0) t f =
+  let rec go attempt =
+    match f () with
+    | r -> r
+    | exception Restart ->
+        clear_tag_set t;
+        cm_wait ~site t ~attempt;
+        go (attempt + 1)
+  in
+  go 0

@@ -16,8 +16,11 @@ type addr = Mt_sim.Memory.addr
 (** [make machine ~rt ~core ~prng] — normally done by {!Harness}, which
     threads the fiber runtime [rt] driving this simulation through every
     context (one runtime per machine per run; nothing is process-global,
-    so independent simulations can run on different domains). *)
+    so independent simulations can run on different domains). [cm] is
+    this core's contention-management policy instance; defaults to
+    [immediate] (retry at once — the behavior before policies existed). *)
 val make :
+  ?cm:Mt_cm.Cm.t ->
   Mt_sim.Machine.t ->
   rt:Mt_sim.Runtime.t ->
   core:int ->
@@ -69,3 +72,43 @@ val clear_tag_set : t -> unit
 val vas : t -> addr -> int -> bool
 val ias : t -> addr -> int -> bool
 val tag_count : t -> int
+
+(** {1 Contention management}
+
+    Optimistic retry sites consult the context's policy (DESIGN §14)
+    instead of spinning. The default [immediate] policy computes no
+    waits, draws no randomness and keeps no state, so runs under it are
+    byte-identical to the pre-policy tree. *)
+
+(** This core's policy instance. *)
+val cm : t -> Mt_cm.Cm.t
+
+(** True iff the policy is [immediate] (the determinism baseline). *)
+val cm_immediate : t -> bool
+
+(** [cm_wait ?site t ~attempt] asks the policy for a wait before retry
+    number [attempt] (0-based) against the contended location [site],
+    then charges it through the ordinary stall path, counts it in
+    {!Mt_sim.Stats} and emits {!Mt_obs.Obs.Cm_wait}. A zero wait (always,
+    under [immediate]) does nothing at all. *)
+val cm_wait : ?site:addr -> t -> attempt:int -> unit
+
+(** [cm_wait_default ?site t ~attempt ~default] — for retry sites that
+    already carried a hand-rolled backoff: under [immediate] charges
+    [default ()] cycles (today's behavior exactly, including any PRNG
+    draws the closure makes); under any other policy skips the default
+    and waits per {!cm_wait}. *)
+val cm_wait_default : ?site:addr -> t -> attempt:int -> default:(unit -> int) -> unit
+
+(** Raised by optimistic bodies run under {!with_restarts} to abandon
+    the attempt. *)
+exception Restart
+
+(** [restart t] aborts the current optimistic attempt. *)
+val restart : t -> 'a
+
+(** [with_restarts ?site t f] runs the optimistic body [f] until it
+    returns without raising {!Restart}; each restart clears the tag set,
+    consults the contention policy ({!cm_wait}) and retries. This is the
+    shared form of the structures' former copy-pasted retry loops. *)
+val with_restarts : ?site:addr -> t -> (unit -> 'a) -> 'a

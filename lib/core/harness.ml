@@ -1,14 +1,30 @@
 open Mt_sim
 
 let exec machine ?(seed = 0x5EED) ?(policy = Runtime.default_policy) ?tick
-    ~threads f =
+    ?(cm = Mt_cm.Cm.immediate) ~threads f =
   if threads <= 0 || threads > Machine.num_cores machine then
     invalid_arg "Harness.exec: bad thread count";
   let master = Prng.create ~seed in
+  (* Jitter streams come from a SEPARATE master so the per-core op
+     streams are identical across policies: a policy comparison then
+     measures contention management, not a resampled workload. Under
+     [Immediate] no jitter stream exists and [master] advances exactly
+     as it always did, so default-policy runs stay byte-identical to
+     the pre-policy tree. *)
+  let jitter_master =
+    match cm with
+    | Mt_cm.Cm.Immediate -> None
+    | _ -> Some (Prng.create ~seed:(seed lxor 0x6A177E12))
+  in
   let rt = Runtime.create () in
   for core = 0 to threads - 1 do
     let prng = Prng.split master in
-    Runtime.spawn rt (fun () -> f (Ctx.make machine ~rt ~core ~prng))
+    let cm =
+      match jitter_master with
+      | None -> Mt_cm.Cm.make cm ~core
+      | Some jm -> Mt_cm.Cm.make ~prng:(Prng.split jm) cm ~core
+    in
+    Runtime.spawn rt (fun () -> f (Ctx.make machine ~cm ~rt ~core ~prng))
   done;
   Runtime.run ~policy ~obs:(Machine.obs machine) ?tick rt;
   Runtime.clock rt

@@ -23,7 +23,11 @@
     machine's cores or is not positive. [tick] is forwarded to
     {!Mt_sim.Runtime.run}: a periodic observation hook fired at every
     multiple of its interval the simulated clock crosses (the window
-    telemetry snapshot point).
+    telemetry snapshot point). [cm] (default {!Mt_cm.Cm.immediate})
+    selects the contention-management policy; each core gets a private
+    instance, with a jitter stream split off the master PRNG only for
+    policies that draw randomness — so the default is byte-identical to
+    a harness without policies.
 
     Thread safety: one [exec] per domain at a time, each on its own
     machine. Independent machines may execute concurrently on different
@@ -35,6 +39,7 @@ val exec :
   ?seed:int ->
   ?policy:Mt_sim.Runtime.policy ->
   ?tick:int * (now:int -> unit) ->
+  ?cm:Mt_cm.Cm.spec ->
   threads:int ->
   (Ctx.t -> unit) ->
   int

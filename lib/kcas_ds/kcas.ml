@@ -161,21 +161,28 @@ let rec get_tagged ctx a =
 (* Single-word CAS on a kCAS-managed cell: the degenerate 1-CAS, without
    descriptor allocation. Helps any operation in progress, then decides on
    the plain value. *)
-let rec cas ctx a ~expected ~desired =
-  let w = Ctx.read ctx a in
-  if is_rdcss w then begin
-    rdcss_complete ctx (desc_of w);
-    cas ctx a ~expected ~desired
-  end
-  else if is_mcas w then begin
-    help_event ctx (desc_of w);
-    ignore (mcas_help ctx (desc_of w));
-    cas ctx a ~expected ~desired
-  end
-  else if w <> enc expected then false
-  else
-    Ctx.cas ctx a ~expected:w ~desired:(enc desired)
-    || cas ctx a ~expected ~desired
+let cas ctx a ~expected ~desired =
+  (* Helping rounds re-enter at the same attempt (they make progress);
+     only a lost CAS race counts as a contention failure. *)
+  let rec go attempt =
+    let w = Ctx.read ctx a in
+    if is_rdcss w then begin
+      rdcss_complete ctx (desc_of w);
+      go attempt
+    end
+    else if is_mcas w then begin
+      help_event ctx (desc_of w);
+      ignore (mcas_help ctx (desc_of w));
+      go attempt
+    end
+    else if w <> enc expected then false
+    else if Ctx.cas ctx a ~expected:w ~desired:(enc desired) then true
+    else begin
+      Ctx.cm_wait ~site:a ctx ~attempt;
+      go (attempt + 1)
+    end
+  in
+  go 0
 
 (* Fail-fast front end: tag + compare all cells first. A clean mismatch is
    a local failure with zero writes; tag breakage means contention, so we
@@ -218,7 +225,8 @@ let snapshot ctx addrs =
   let cells = List.length addrs in
   if cells > max_tags then None
   else begin
-    let rec attempt () =
+    let site = match addrs with a :: _ -> a | [] -> 0 in
+    let rec attempt n =
       snap_event ctx (Mt_obs.Obs.Snap_attempt { cells });
       Ctx.clear_tag_set ctx;
       let values = List.map (fun a -> Ctx.add_tag_read ctx a ~words:1) addrs in
@@ -237,8 +245,9 @@ let snapshot ctx addrs =
             if is_rdcss w then rdcss_complete ctx (desc_of w)
             else if is_mcas w then ignore (mcas_help ctx (desc_of w)))
           values;
-        attempt ()
+        Ctx.cm_wait ~site ctx ~attempt:n;
+        attempt (n + 1)
       end
     in
-    attempt ()
+    attempt 0
   end

@@ -21,7 +21,8 @@ let create ctx =
 
 let slow_path_count machine t = Mt_sim.Machine.peek machine t.slow_runs
 
-exception Restart
+exception Restart = Ctx.Restart
+
 exception Mode_slow
 
 (* ------------------------------------------------------------------ *)
@@ -120,7 +121,11 @@ let slow_delete ctx t k () =
 (* ------------------------------------------------------------------ *)
 
 (* Run [fast] with bounded retries, then fall back to [slow] under the
-   lock. When the mode reads SLOW we also wait-or-fallback immediately. *)
+   lock. When the mode reads SLOW we also wait-or-fallback immediately.
+   This keeps its own loop rather than {!Ctx.with_restarts} because the
+   failure counter doubles as the lock-fallback trigger; the contention
+   policy hooks in before each fast-path retry (a no-op under
+   [immediate], preserving the historical behavior exactly). *)
 let elide ctx t ~fast ~slow =
   let rec wait_fast () =
     if not (Mode.is_fast ctx t.mode) then begin
@@ -140,9 +145,11 @@ let elide ctx t ~fast ~slow =
           result
       | None ->
           Ctx.clear_tag_set ctx;
+          Ctx.cm_wait ~site:t.head ctx ~attempt:fails;
           attempt (fails + 1)
       | exception Restart ->
           Ctx.clear_tag_set ctx;
+          Ctx.cm_wait ~site:t.head ctx ~attempt:fails;
           attempt (fails + 1)
       | exception Mode_slow ->
           Ctx.clear_tag_set ctx;

@@ -9,80 +9,85 @@ let create ctx =
   let head = Node.alloc ~label:"hoh-node" ctx ~key:min_int ~next:tail ~marked:false in
   { head }
 
-exception Restart
+exception Restart = Ctx.Restart
 
 (* LOCATE (Algorithm 2): hand-over-hand tagging. Returns [(pred, curr,
    curr_key)] with [pred.key < k <= curr_key]; [pred] and [curr] remain
    tagged, and the last successful validate proved both reachable from the
-   head. The caller must eventually [clear_tag_set]. *)
-let rec locate ctx t k =
-  match
-    let pred = t.head in
-    (* Tag the head (its key is -inf), then a tagged load of curr's key. *)
-    let (_ : int) = Node.tagged_key ctx pred in
-    let curr = Node.ptr_of (Node.next_packed ctx pred) in
-    let ck = Node.tagged_key ctx curr in
-    if not (Ctx.validate ctx) then raise Restart;
-    (* Window invariant: tags = {pred, curr}, both validated in the list,
-       and curr was read from pred.next while pred was tagged. The window
-       can shrink to {curr} while extending: the Synchronization Rule (a
-       delete IAS-invalidates the nodes it removes) means a deletion of
-       curr kills our tag on curr directly — the pred tag is not needed to
-       detect it. *)
-    let rec advance pred curr ck =
-      if ck >= k then (pred, curr, ck)
-      else begin
-        let succ = Node.ptr_of (Node.next_packed ctx curr) in
-        Ctx.remove_tag ctx pred ~words:Node.words;
-        let sk = Node.tagged_key ctx succ in
-        if not (Ctx.validate ctx) then raise Restart;
-        advance curr succ sk
+   head. The caller must eventually [clear_tag_set]. Restarts go through
+   {!Ctx.with_restarts}: clear the tag set, consult the contention
+   policy, try again. *)
+let locate ctx t k =
+  Ctx.with_restarts ~site:t.head ctx (fun () ->
+      let pred = t.head in
+      (* Tag the head (its key is -inf), then a tagged load of curr's key. *)
+      let (_ : int) = Node.tagged_key ctx pred in
+      let curr = Node.ptr_of (Node.next_packed ctx pred) in
+      let ck = Node.tagged_key ctx curr in
+      if not (Ctx.validate ctx) then raise Restart;
+      (* Window invariant: tags = {pred, curr}, both validated in the list,
+         and curr was read from pred.next while pred was tagged. The window
+         can shrink to {curr} while extending: the Synchronization Rule (a
+         delete IAS-invalidates the nodes it removes) means a deletion of
+         curr kills our tag on curr directly — the pred tag is not needed to
+         detect it. *)
+      let rec advance pred curr ck =
+        if ck >= k then (pred, curr, ck)
+        else begin
+          let succ = Node.ptr_of (Node.next_packed ctx curr) in
+          Ctx.remove_tag ctx pred ~words:Node.words;
+          let sk = Node.tagged_key ctx succ in
+          if not (Ctx.validate ctx) then raise Restart;
+          advance curr succ sk
+        end
+      in
+      advance pred curr ck)
+
+let insert ctx t k =
+  let rec go attempt =
+    let pred, curr, ck = locate ctx t k in
+    if ck = k then begin
+      Ctx.clear_tag_set ctx;
+      false
+    end
+    else begin
+      let node = Node.alloc ~label:"hoh-node" ctx ~key:k ~next:curr ~marked:false in
+      if Ctx.vas ctx (pred + Node.next_off) (Node.pack node ~marked:false) then begin
+        Ctx.clear_tag_set ctx;
+        true
       end
-    in
-    advance pred curr ck
-  with
-  | result -> result
-  | exception Restart ->
-      Ctx.clear_tag_set ctx;
-      locate ctx t k
+      else begin
+        Ctx.clear_tag_set ctx;
+        Ctx.cm_wait ~site:(pred + Node.next_off) ctx ~attempt;
+        go (attempt + 1)
+      end
+    end
+  in
+  go 0
 
-let rec insert ctx t k =
-  let pred, curr, ck = locate ctx t k in
-  if ck = k then begin
-    Ctx.clear_tag_set ctx;
-    false
-  end
-  else begin
-    let node = Node.alloc ~label:"hoh-node" ctx ~key:k ~next:curr ~marked:false in
-    if Ctx.vas ctx (pred + Node.next_off) (Node.pack node ~marked:false) then begin
+let delete ctx t k =
+  let rec go attempt =
+    let pred, curr, ck = locate ctx t k in
+    if ck <> k then begin
       Ctx.clear_tag_set ctx;
-      true
+      false
     end
     else begin
-      Ctx.clear_tag_set ctx;
-      insert ctx t k
+      let succ = Node.ptr_of (Node.next_packed ctx curr) in
+      (* IAS, not VAS: invalidate the deleted node (and pred) at all cores so
+         concurrent traversals tagging curr fail their next validation. *)
+      if Ctx.ias ctx (pred + Node.next_off) (Node.pack succ ~marked:false) then begin
+        Ctx.clear_tag_set ctx;
+        true
+      end
+      else begin
+        Ctx.clear_tag_set ctx;
+        Ctx.cm_wait ~site:(pred + Node.next_off) ctx ~attempt;
+        go (attempt + 1)
+      end
     end
-  end
-
-let rec delete ctx t k =
-  let pred, curr, ck = locate ctx t k in
-  if ck <> k then begin
-    Ctx.clear_tag_set ctx;
-    false
-  end
-  else begin
-    let succ = Node.ptr_of (Node.next_packed ctx curr) in
-    (* IAS, not VAS: invalidate the deleted node (and pred) at all cores so
-       concurrent traversals tagging curr fail their next validation. *)
-    if Ctx.ias ctx (pred + Node.next_off) (Node.pack succ ~marked:false) then begin
-      Ctx.clear_tag_set ctx;
-      true
-    end
-    else begin
-      Ctx.clear_tag_set ctx;
-      delete ctx t k
-    end
-  end
+  in
+  go 0
 
 (* Plain untagged traversal. Linearizable without tags or marks because a
    HoH delete never writes the node it deletes: an unlinked node's next
@@ -134,31 +139,26 @@ let scan_plain ctx t ~lo ~hi ~budget =
 
 let range ctx t ~lo ~hi =
   let max_tags = (Mt_sim.Machine.cfg (Ctx.machine ctx)).Mt_sim.Config.max_tags in
-  let rec attempt () =
-    match
-      let _, curr, ck = locate ctx t lo in
-      (* Keep every node of the snapshot tagged; extend hand-over-hand but
-         without untagging, validating after each extension. *)
-      let rec collect node nk acc =
-        if nk > hi then List.rev acc
-        else if Ctx.tag_count ctx >= max_tags then raise Exit
-        else begin
-          let succ = Node.ptr_of (Node.next_packed ctx node) in
-          let sk = Node.tagged_key ctx succ in
-          if not (Ctx.validate ctx) then raise Restart;
-          collect succ sk (nk :: acc)
-        end
-      in
-      collect curr ck []
-    with
-    | keys ->
-        Ctx.clear_tag_set ctx;
-        Some keys
-    | exception Restart ->
-        Ctx.clear_tag_set ctx;
-        attempt ()
-    | exception Exit ->
-        Ctx.clear_tag_set ctx;
-        None
-  in
-  attempt ()
+  Ctx.with_restarts ~site:t.head ctx (fun () ->
+      match
+        let _, curr, ck = locate ctx t lo in
+        (* Keep every node of the snapshot tagged; extend hand-over-hand but
+           without untagging, validating after each extension. *)
+        let rec collect node nk acc =
+          if nk > hi then List.rev acc
+          else if Ctx.tag_count ctx >= max_tags then raise Exit
+          else begin
+            let succ = Node.ptr_of (Node.next_packed ctx node) in
+            let sk = Node.tagged_key ctx succ in
+            if not (Ctx.validate ctx) then raise Restart;
+            collect succ sk (nk :: acc)
+          end
+        in
+        collect curr ck []
+      with
+      | keys ->
+          Ctx.clear_tag_set ctx;
+          Some keys
+      | exception Exit ->
+          Ctx.clear_tag_set ctx;
+          None)

@@ -51,43 +51,57 @@ let tag_and_check ctx pred curr =
   end
   else Some cn
 
-let rec insert ctx t k =
-  let pred, curr, ck = locate ctx t k in
-  if ck = k then false
-  else
-    match tag_and_check ctx pred curr with
-    | None -> insert ctx t k
-    | Some _curr_next ->
-        let node = Node.alloc ~label:"vas-node" ctx ~key:k ~next:curr ~marked:false in
-        if Ctx.vas ctx (pred + Node.next_off) (Node.pack node ~marked:false) then begin
-          Ctx.clear_tag_set ctx;
-          true
-        end
-        else begin
-          Ctx.clear_tag_set ctx;
-          insert ctx t k
-        end
+let insert ctx t k =
+  let rec go attempt =
+    let pred, curr, ck = locate ctx t k in
+    if ck = k then false
+    else
+      let retry () =
+        Ctx.cm_wait ~site:(pred + Node.next_off) ctx ~attempt;
+        go (attempt + 1)
+      in
+      match tag_and_check ctx pred curr with
+      | None -> retry ()
+      | Some _curr_next ->
+          let node = Node.alloc ~label:"vas-node" ctx ~key:k ~next:curr ~marked:false in
+          if Ctx.vas ctx (pred + Node.next_off) (Node.pack node ~marked:false) then begin
+            Ctx.clear_tag_set ctx;
+            true
+          end
+          else begin
+            Ctx.clear_tag_set ctx;
+            retry ()
+          end
+  in
+  go 0
 
-let rec delete ctx t k =
-  let pred, curr, ck = locate ctx t k in
-  if ck <> k then false
-  else
-    match tag_and_check ctx pred curr with
-    | None -> delete ctx t k
-    | Some curr_next ->
-        let succ = Node.ptr_of curr_next in
-        (* Logical deletion via VAS on curr's own next pointer. *)
-        if not (Ctx.vas ctx (curr + Node.next_off) (Node.pack succ ~marked:true))
-        then begin
-          Ctx.clear_tag_set ctx;
-          delete ctx t k
-        end
-        else begin
-          (* Best-effort unlink; our own mark write did not evict our tags. *)
-          ignore (Ctx.vas ctx (pred + Node.next_off) (Node.pack succ ~marked:false));
-          Ctx.clear_tag_set ctx;
-          true
-        end
+let delete ctx t k =
+  let rec go attempt =
+    let pred, curr, ck = locate ctx t k in
+    if ck <> k then false
+    else
+      let retry site =
+        Ctx.cm_wait ~site ctx ~attempt;
+        go (attempt + 1)
+      in
+      match tag_and_check ctx pred curr with
+      | None -> retry (pred + Node.next_off)
+      | Some curr_next ->
+          let succ = Node.ptr_of curr_next in
+          (* Logical deletion via VAS on curr's own next pointer. *)
+          if not (Ctx.vas ctx (curr + Node.next_off) (Node.pack succ ~marked:true))
+          then begin
+            Ctx.clear_tag_set ctx;
+            retry (curr + Node.next_off)
+          end
+          else begin
+            (* Best-effort unlink; our own mark write did not evict our tags. *)
+            ignore (Ctx.vas ctx (pred + Node.next_off) (Node.pack succ ~marked:false));
+            Ctx.clear_tag_set ctx;
+            true
+          end
+  in
+  go 0
 
 let contains ctx t k =
   let rec go node =

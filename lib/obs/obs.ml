@@ -44,6 +44,7 @@ type kind =
   | Scan_validate of { shard : int; ok : bool }
   | Snap_attempt of { cells : int }
   | Snap_invalid of { cells : int }
+  | Cm_wait of { site : int; cycles : int; attempt : int }
 
 type event = { seq : int; time : int; core : int; kind : kind }
 
@@ -239,6 +240,7 @@ let kind_name = function
   | Scan_validate { ok = false; _ } -> "scan-validate-fail"
   | Snap_attempt _ -> "snap-attempt"
   | Snap_invalid _ -> "snap-invalid"
+  | Cm_wait _ -> "cm-wait"
 
 let kind_args t = function
   | L1_miss { line } | L2_miss { line } | Writeback { line }
@@ -287,6 +289,9 @@ let kind_args t = function
       [ ("shard", Json.Int shard); ("ok", Json.Bool ok) ]
   | Snap_attempt { cells } | Snap_invalid { cells } ->
       [ ("cells", Json.Int cells) ]
+  | Cm_wait { site; cycles; attempt } ->
+      [ ("site", Json.Int site); ("cycles", Json.Int cycles);
+        ("attempt", Json.Int attempt) ]
 
 (* The request id an event participates in, if any — the thread that links
    one request's causal chain (arrive → enqueue → dequeue → retries →

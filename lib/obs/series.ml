@@ -83,6 +83,8 @@ type window = {
   mutable w_scan_fail : int;
   mutable w_snap_attempts : int;
   mutable w_snap_invalid : int;
+  mutable w_cm_waits : int;  (* contention-policy waits (Cm_wait events) *)
+  mutable w_cm_wait_cycles : int;
   w_shard_ops : (int, int) Hashtbl.t;  (* shard -> routed ops (Store_op) *)
   w_lat : Hist.t;
   mutable w_snap : counters;  (* counter delta attributed to this window *)
@@ -116,6 +118,8 @@ let fresh_window t0 =
     w_scan_fail = 0;
     w_snap_attempts = 0;
     w_snap_invalid = 0;
+    w_cm_waits = 0;
+    w_cm_wait_cycles = 0;
     w_shard_ops = Hashtbl.create 8;
     w_lat = Hist.create ();
     w_snap = zero_counters;
@@ -220,6 +224,9 @@ let feed t (e : Obs.event) =
       else w.w_scan_fail <- w.w_scan_fail + 1
   | Obs.Snap_attempt _ -> w.w_snap_attempts <- w.w_snap_attempts + 1
   | Obs.Snap_invalid _ -> w.w_snap_invalid <- w.w_snap_invalid + 1
+  | Obs.Cm_wait { cycles; _ } ->
+      w.w_cm_waits <- w.w_cm_waits + 1;
+      w.w_cm_wait_cycles <- w.w_cm_wait_cycles + cycles
   | Obs.Fault { label } -> t.marks <- (e.time, label) :: t.marks
   | _ -> ()
 
@@ -347,6 +354,12 @@ let window_to_json t occ_end (w : window) =
                        [ ("shard", Json.Int sh); ("ops", Json.Int n) ])
                    shards) );
             ("imbalance", Json.Float imbalance);
+          ] );
+      ( "cm",
+        Json.Obj
+          [
+            ("waits", Json.Int w.w_cm_waits);
+            ("wait_cycles", Json.Int w.w_cm_wait_cycles);
           ] );
       ("latency", Hist.to_json w.w_lat);
     ]

@@ -105,6 +105,9 @@ type window = {
   mutable w_scan_fail : int;
   mutable w_snap_attempts : int;
   mutable w_snap_invalid : int;
+  mutable w_cm_waits : int;
+      (** contention-policy waits ({!Obs.kind.Cm_wait} events) *)
+  mutable w_cm_wait_cycles : int;
   w_shard_ops : (int, int) Hashtbl.t;
   w_lat : Hist.t;
   mutable w_snap : counters;

@@ -11,6 +11,8 @@ type admission =
   | Drop
   | Retry of { max_retries : int; backoff_base : int; backoff_cap : int }
 
+type shed = { heat_per_kcycle : float; sample_cycles : int }
+
 type config = {
   workers : int;
   batch : int;
@@ -24,12 +26,13 @@ type config = {
   idle_poll_cycles : int;
   seed : int;
   record_dequeues : bool;
+  shed : shed option;
 }
 
 let config ?(batch = 1) ?(queue_capacity = 64) ?(queues = Shared)
     ?(admission = Drop) ?(process = Arrival.Poisson) ?(horizon = 150_000)
     ?(dispatch_cycles = 16) ?(idle_poll_cycles = 32) ?(seed = 1)
-    ?(record_dequeues = false) ~workers ~rate_per_kcycle () =
+    ?(record_dequeues = false) ?shed ~workers ~rate_per_kcycle () =
   if workers <= 0 || workers > 63 then invalid_arg "Server.config: bad workers";
   if batch <= 0 then invalid_arg "Server.config: batch must be positive";
   if queue_capacity <= 0 then invalid_arg "Server.config: bad queue_capacity";
@@ -42,6 +45,11 @@ let config ?(batch = 1) ?(queue_capacity = 64) ?(queues = Shared)
       if max_retries < 0 || backoff_base <= 0 || backoff_cap < backoff_base then
         invalid_arg "Server.config: bad retry policy"
   | Drop -> ());
+  (match shed with
+  | Some { heat_per_kcycle; sample_cycles } ->
+      if not (heat_per_kcycle > 0.0) || sample_cycles <= 0 then
+        invalid_arg "Server.config: bad shed policy"
+  | None -> ());
   {
     workers;
     batch;
@@ -55,6 +63,7 @@ let config ?(batch = 1) ?(queue_capacity = 64) ?(queues = Shared)
     idle_poll_cycles;
     seed;
     record_dequeues;
+    shed;
   }
 
 type req = { id : int; arrival : int; payload : int; mutable attempts : int }
@@ -116,6 +125,7 @@ type result = {
   generated : int;
   completed : int;
   dropped : int;
+  shed_drops : int;
   rejects : int;
   steals : int;
   still_queued : int;
@@ -135,8 +145,8 @@ type result = {
   class_e2e : Hist.t array;
 }
 
-let run ?cfg ?(obs = Obs.null) ?make_policy ?series ?classes ~name ~setup ~op
-    (c : config) =
+let run ?cfg ?(obs = Obs.null) ?make_policy ?series ?classes ?cm ~name ~setup
+    ~op (c : config) =
   let threads = c.workers + 1 in
   let cfg =
     match cfg with Some m -> m | None -> Config.default ~num_cores:threads ()
@@ -153,6 +163,7 @@ let run ?cfg ?(obs = Obs.null) ?make_policy ?series ?classes ~name ~setup ~op
   let generated = ref 0
   and completed = ref 0
   and dropped = ref 0
+  and shed_drops = ref 0
   and steals = ref 0 in
   let queue_wait = Hist.create ()
   and service = Hist.create ()
@@ -184,6 +195,29 @@ let run ?cfg ?(obs = Obs.null) ?make_policy ?series ?classes ~name ~setup ~op
     let qid_of req =
       match c.queues with Shared -> 0 | Per_worker _ -> req.id mod c.workers
     in
+    (* Overload shedding: sample the fabric's aggregate contention signal
+       (validation/CAS/VAS/IAS failures + invalidations — the same "heat"
+       the telemetry windows report) at a fixed cadence; while its rate
+       exceeds the threshold, new arrivals are shed at admission, before
+       they can add to the restart storm. Counters are a pure function of
+       simulated time, so shedding keeps runs deterministic. *)
+    let shedding = ref false in
+    let last_heat = ref 0
+    and last_sample = ref 0 in
+    let sample_shed now =
+      match c.shed with
+      | None -> ()
+      | Some { heat_per_kcycle; sample_cycles } ->
+          if now - !last_sample >= sample_cycles then begin
+            let h = (Stats.series_counters (Machine.total_stats m)).c_heat in
+            let elapsed = now - !last_sample in
+            shedding :=
+              1000.0 *. float_of_int (h - !last_heat) /. float_of_int elapsed
+              > heat_per_kcycle;
+            last_heat := h;
+            last_sample := now
+          end
+    in
     let attempt req =
       let q = qs.(qid_of req) in
       if Queue.try_enqueue q req then begin
@@ -197,8 +231,8 @@ let run ?cfg ?(obs = Obs.null) ?make_policy ?series ?classes ~name ~setup ~op
         | Retry { max_retries; backoff_base; backoff_cap }
           when req.attempts < max_retries ->
             let b =
-              if req.attempts >= 20 then backoff_cap
-              else min backoff_cap (backoff_base lsl req.attempts)
+              Mt_cm.Cm.capped_backoff ~base:backoff_base ~cap:backoff_cap
+                ~attempt:req.attempts
             in
             req.attempts <- req.attempts + 1;
             if Obs.enabled obs then
@@ -246,7 +280,16 @@ let run ?cfg ?(obs = Obs.null) ?make_policy ?series ?classes ~name ~setup ~op
             if Obs.enabled obs then
               Obs.emit obs ~core ~time:req.arrival
                 (Obs.Req_arrive { id = req.id });
-            attempt req
+            sample_shed req.arrival;
+            if !shedding then begin
+              incr dropped;
+              incr shed_drops;
+              if Obs.enabled obs then
+                Obs.emit obs ~core ~time:req.arrival
+                  (Obs.Req_drop
+                     { id = req.id; queue = qid_of req; cause = "overload-shed" })
+            end
+            else attempt req
           end
           else attempt (Rheap.pop heap)
     done;
@@ -361,7 +404,7 @@ let run ?cfg ?(obs = Obs.null) ?make_policy ?series ?classes ~name ~setup ~op
       series
   in
   let duration =
-    Harness.exec m ~seed:c.seed ?policy ?tick ~threads (fun ctx ->
+    Harness.exec m ~seed:c.seed ?policy ?tick ?cm ~threads (fun ctx ->
         let core = Ctx.core ctx in
         if core = c.workers then arrival_fiber ctx else worker_fiber ctx core)
   in
@@ -379,6 +422,7 @@ let run ?cfg ?(obs = Obs.null) ?make_policy ?series ?classes ~name ~setup ~op
     generated = !generated;
     completed = !completed;
     dropped = !dropped;
+    shed_drops = !shed_drops;
     rejects;
     steals = !steals;
     still_queued;
@@ -406,7 +450,7 @@ let run ?cfg ?(obs = Obs.null) ?make_policy ?series ?classes ~name ~setup ~op
     class_e2e;
   }
 
-let run_set ?cfg ?obs ?make_policy ?series ?(init_fill = 0.5)
+let run_set ?cfg ?obs ?make_policy ?series ?cm ?(init_fill = 0.5)
     ?(insert_pct = 35) ?(delete_pct = 35) (module S : Mt_list.Set_intf.SET)
     ~key_range (c : config) =
   if key_range <= 0 then invalid_arg "Server.run_set: bad key_range";
@@ -427,7 +471,7 @@ let run_set ?cfg ?obs ?make_policy ?series ?(init_fill = 0.5)
     else if r < insert_pct + delete_pct then ignore (S.delete ctx s k)
     else ignore (S.contains ctx s k)
   in
-  run ?cfg ?obs ?make_policy ?series ~name:S.name ~setup ~op c
+  run ?cfg ?obs ?make_policy ?series ?cm ~name:S.name ~setup ~op c
 
 let queues_name = function
   | Shared -> "shared"
@@ -466,6 +510,17 @@ let config_to_json (c : config) =
                 ("backoff_base", Json.Int backoff_base);
                 ("backoff_cap", Json.Int backoff_cap);
               ] );
+      ( "shed",
+        (* No bare nulls at schema v3+: absence is an explicit flag. *)
+        match c.shed with
+        | None -> Json.Obj [ ("enabled", Json.Bool false) ]
+        | Some { heat_per_kcycle; sample_cycles } ->
+            Json.Obj
+              [
+                ("enabled", Json.Bool true);
+                ("heat_per_kcycle", Json.Float heat_per_kcycle);
+                ("sample_cycles", Json.Int sample_cycles);
+              ] );
       ("arrival", Json.String (Arrival.process_name c.process));
       ("offered_per_kcycle", Json.Float c.rate_per_kcycle);
       ("horizon_cycles", Json.Int c.horizon);
@@ -482,6 +537,7 @@ let result_to_json r =
       ("generated", Json.Int r.generated);
       ("completed", Json.Int r.completed);
       ("dropped", Json.Int r.dropped);
+      ("shed_drops", Json.Int r.shed_drops);
       ("enqueue_rejects", Json.Int r.rejects);
       ("steals", Json.Int r.steals);
       ("still_queued", Json.Int r.still_queued);

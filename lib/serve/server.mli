@@ -28,8 +28,17 @@ type admission =
   | Retry of { max_retries : int; backoff_base : int; backoff_cap : int }
       (** a bounced request is re-attempted client-side up to
           [max_retries] times with capped exponential backoff
-          ([backoff_base * 2^attempt], capped at [backoff_cap] cycles);
+          ([backoff_base * 2^attempt], capped at [backoff_cap] cycles,
+          computed overflow-safely by {!Mt_cm.Cm.capped_backoff});
           retries never delay later arrivals (the stream stays open-loop). *)
+
+(** Overload shedding: the arrival fiber samples the fabric's aggregate
+    contention signal — validation/CAS/VAS/IAS failures plus invalidations,
+    the "heat" the telemetry windows report — every [sample_cycles]; while
+    its rate exceeds [heat_per_kcycle] events per 1000 cycles, new arrivals
+    are dropped at admission (cause ["overload-shed"]) before they can feed
+    the restart storm. Retries already admitted still proceed. *)
+type shed = { heat_per_kcycle : float; sample_cycles : int }
 
 type config = {
   workers : int;  (** worker fibers (cores 0..workers-1; arrivals on core [workers]) *)
@@ -47,11 +56,12 @@ type config = {
   seed : int;
   record_dequeues : bool;
       (** keep the (queue, request id) dequeue log in the result (tests) *)
+  shed : shed option;  (** overload shedding; [None] (default) disables it *)
 }
 
 (** [config ~workers ~rate_per_kcycle ()] with defaults: batch 1, capacity
     64, shared queue, drop admission, Poisson arrivals, horizon 150_000,
-    dispatch 16, idle poll 32, seed 1. *)
+    dispatch 16, idle poll 32, seed 1, no shedding. *)
 val config :
   ?batch:int ->
   ?queue_capacity:int ->
@@ -63,6 +73,7 @@ val config :
   ?idle_poll_cycles:int ->
   ?seed:int ->
   ?record_dequeues:bool ->
+  ?shed:shed ->
   workers:int ->
   rate_per_kcycle:float ->
   unit ->
@@ -74,6 +85,9 @@ type result = {
   generated : int;  (** requests created by the arrival process *)
   completed : int;
   dropped : int;  (** rejected for good by admission control *)
+  shed_drops : int;
+      (** of [dropped], the requests shed by overload control (cause
+          ["overload-shed"]); 0 unless [config.shed] is set *)
   rejects : int;  (** enqueue attempts that bounced (retries re-count) *)
   steals : int;  (** requests obtained by work-stealing *)
   still_queued : int;  (** left in queues at the end (0 after a drain) *)
@@ -130,6 +144,7 @@ val run :
   ?make_policy:(Mt_sim.Machine.t -> Mt_sim.Runtime.policy) ->
   ?series:Mt_obs.Series.t ->
   ?classes:string array * (int -> int) ->
+  ?cm:Mt_cm.Cm.spec ->
   name:string ->
   setup:(Mt_core.Ctx.t -> 'a) ->
   op:(Mt_core.Ctx.t -> 'a -> int -> unit) ->
@@ -146,6 +161,7 @@ val run_set :
   ?obs:Mt_obs.Obs.t ->
   ?make_policy:(Mt_sim.Machine.t -> Mt_sim.Runtime.policy) ->
   ?series:Mt_obs.Series.t ->
+  ?cm:Mt_cm.Cm.spec ->
   ?init_fill:float ->
   ?insert_pct:int ->
   ?delete_pct:int ->

@@ -25,6 +25,8 @@ type t = {
   mutable validate_failures_spurious : int;
   mutable tag_overflows : int;
   mutable busy_cycles : int;
+  mutable cm_waits : int;
+  mutable cm_wait_cycles : int;
 }
 
 let create () =
@@ -55,6 +57,8 @@ let create () =
     validate_failures_spurious = 0;
     tag_overflows = 0;
     busy_cycles = 0;
+    cm_waits = 0;
+    cm_wait_cycles = 0;
   }
 
 let reset t =
@@ -83,7 +87,9 @@ let reset t =
   t.validate_failures <- 0;
   t.validate_failures_spurious <- 0;
   t.tag_overflows <- 0;
-  t.busy_cycles <- 0
+  t.busy_cycles <- 0;
+  t.cm_waits <- 0;
+  t.cm_wait_cycles <- 0
 
 let add acc t =
   acc.loads <- acc.loads + t.loads;
@@ -112,7 +118,9 @@ let add acc t =
   acc.validate_failures_spurious <-
     acc.validate_failures_spurious + t.validate_failures_spurious;
   acc.tag_overflows <- acc.tag_overflows + t.tag_overflows;
-  acc.busy_cycles <- acc.busy_cycles + t.busy_cycles
+  acc.busy_cycles <- acc.busy_cycles + t.busy_cycles;
+  acc.cm_waits <- acc.cm_waits + t.cm_waits;
+  acc.cm_wait_cycles <- acc.cm_wait_cycles + t.cm_wait_cycles
 
 let sum ts =
   let acc = create () in

@@ -40,6 +40,10 @@ type t = {
           overflow, never by a real remote conflict *)
   mutable tag_overflows : int;
   mutable busy_cycles : int;           (** cycles this core spent stalled/working *)
+  mutable cm_waits : int;
+      (** contention-policy waits imposed on this core (non-immediate
+          policies only; the [Immediate] baseline never counts here) *)
+  mutable cm_wait_cycles : int;        (** total cycles of those waits *)
 }
 
 val create : unit -> t

@@ -110,7 +110,7 @@ let commit tx =
   end
 
 let atomically ctx stm body =
-  let rec attempt backoff =
+  let rec attempt n =
     let tx =
       {
         ctx;
@@ -132,8 +132,13 @@ let atomically ctx stm body =
         result
     | exception Abort ->
         stm.aborts <- stm.aborts + 1;
-        (* Randomized backoff prevents lock-step retry livelock. *)
-        Ctx.work ctx (Mt_sim.Prng.int (Ctx.prng ctx) backoff);
-        attempt (min (backoff * 2) 2048)
+        (* Historical site default: randomized doubling backoff (prevents
+           lock-step retry livelock), 16 * 2^n capped at 2048. Runs only
+           under the [immediate] policy; otherwise the contention layer
+           computes the wait. *)
+        Ctx.cm_wait_default ~site:stm.seqlock ctx ~attempt:n
+          ~default:(fun () ->
+            Mt_sim.Prng.int (Ctx.prng ctx) (min 2048 (16 lsl min n 7)));
+        attempt (n + 1)
   in
-  attempt 16
+  attempt 0

@@ -177,7 +177,7 @@ let commit tx =
   end
 
 let atomically ctx stm body =
-  let rec attempt backoff =
+  let rec attempt n =
     Ctx.clear_tag_set ctx;
     let tx =
       {
@@ -214,7 +214,11 @@ let atomically ctx stm body =
     | exception Abort ->
         Ctx.clear_tag_set ctx;
         stm.aborts <- stm.aborts + 1;
-        Ctx.work ctx (Mt_sim.Prng.int (Ctx.prng ctx) backoff);
-        attempt (min (backoff * 2) 2048)
+        (* Historical site default (randomized doubling backoff); replaced
+           by the contention policy when one is active. *)
+        Ctx.cm_wait_default ~site:stm.seqlock ctx ~attempt:n
+          ~default:(fun () ->
+            Mt_sim.Prng.int (Ctx.prng ctx) (min 2048 (16 lsl min n 7)));
+        attempt (n + 1)
   in
-  attempt 16
+  attempt 0

@@ -45,6 +45,8 @@ type stats = {
   txn_aborts : int;
   txn_sub_ops : int;
   txn_retries : int;
+  txn_retries_locked : int;
+  txn_retries_version : int;
   scans : int;
   scan_collects : int;
   scan_tag_fallbacks : int;
@@ -60,6 +62,8 @@ type counters = {
   mutable c_txn_aborts : int;
   mutable c_txn_sub_ops : int;
   mutable c_txn_retries : int;
+  mutable c_txn_retries_locked : int;  (* failed acquisitions, by cause *)
+  mutable c_txn_retries_version : int;
   mutable c_scans : int;
   mutable c_scan_collects : int;
   mutable c_scan_tag_fallbacks : int;
@@ -123,6 +127,8 @@ let create ?(txn_max_retries = 8) (backend : (module Backend.S)) ctx ~shards
           c_txn_aborts = 0;
           c_txn_sub_ops = 0;
           c_txn_retries = 0;
+          c_txn_retries_locked = 0;
+          c_txn_retries_version = 0;
           c_scans = 0;
           c_scan_collects = 0;
           c_scan_tag_fallbacks = 0;
@@ -146,6 +152,8 @@ let stats (T s) =
     txn_aborts = s.c.c_txn_aborts;
     txn_sub_ops = s.c.c_txn_sub_ops;
     txn_retries = s.c.c_txn_retries;
+    txn_retries_locked = s.c.c_txn_retries_locked;
+    txn_retries_version = s.c.c_txn_retries_version;
     scans = s.c.c_scans;
     scan_collects = s.c.c_scan_collects;
     scan_tag_fallbacks = s.c.c_scan_tag_fallbacks;
@@ -159,6 +167,8 @@ let reset_stats (T s) =
   s.c.c_txn_aborts <- 0;
   s.c.c_txn_sub_ops <- 0;
   s.c.c_txn_retries <- 0;
+  s.c.c_txn_retries_locked <- 0;
+  s.c.c_txn_retries_version <- 0;
   s.c.c_scans <- 0;
   s.c.c_scan_collects <- 0;
   s.c.c_scan_tag_fallbacks <- 0;
@@ -175,6 +185,13 @@ let check_key key_space k =
 let locked v = v land 1 = 1
 let backoff_cycles attempt = min 512 (16 lsl min attempt 5)
 
+(* The historical capped-shift backoff is each retry site's [immediate]
+   default; a non-immediate contention policy replaces it (keyed on the
+   shard's version word as the contended location). *)
+let retry_wait ctx ~site ~attempt =
+  Ctx.cm_wait_default ~site ctx ~attempt ~default:(fun () ->
+      backoff_cycles attempt)
+
 (* Spin until the shard's version is even and our CAS takes it odd.
    Returns the locked (odd) version. Writers always release, so this
    terminates under any fair schedule. *)
@@ -184,7 +201,7 @@ let acquire ctx versions sh =
     if (not (locked v)) && Kcas.cas ctx versions.(sh) ~expected:v ~desired:(v + 1)
     then v + 1
     else begin
-      Ctx.work ctx (backoff_cycles attempt);
+      retry_wait ctx ~site:versions.(sh) ~attempt;
       go (attempt + 1)
     end
   in
@@ -228,7 +245,7 @@ let get ctx (T s) k =
   let rec attempt tries =
     let v = Kcas.get ctx s.versions.(sh) in
     if locked v then begin
-      Ctx.work ctx (backoff_cycles tries);
+      retry_wait ctx ~site:s.versions.(sh) ~attempt:tries;
       attempt (tries + 1)
     end
     else begin
@@ -237,7 +254,7 @@ let get ctx (T s) k =
          shard lock meanwhile, so [r] is committed state. *)
       if Kcas.get ctx s.versions.(sh) = v then r
       else begin
-        Ctx.work ctx (backoff_cycles tries);
+        retry_wait ctx ~site:s.versions.(sh) ~attempt:tries;
         attempt (tries + 1)
       end
     end
@@ -270,7 +287,8 @@ let txn ctx (T s) ops =
           in
           if List.exists (fun (_, v) -> locked v) vs then begin
             last_cause := "shard-locked";
-            Ctx.work ctx (backoff_cycles attempt);
+            s.c.c_txn_retries_locked <- s.c.c_txn_retries_locked + 1;
+            retry_wait ctx ~site:s.versions.(List.hd shard_ids) ~attempt;
             try_acquire (attempt + 1)
           end
           else begin
@@ -283,7 +301,8 @@ let txn ctx (T s) ops =
             if Kcas.kcas_tagged ctx ups then Some (vs, attempt)
             else begin
               last_cause := "version-changed";
-              Ctx.work ctx (backoff_cycles attempt);
+              s.c.c_txn_retries_version <- s.c.c_txn_retries_version + 1;
+              retry_wait ctx ~site:s.versions.(List.hd shard_ids) ~attempt;
               try_acquire (attempt + 1)
             end
           end
@@ -383,7 +402,7 @@ let scan ctx (T s) ~lo ~hi =
           let rec pin tries =
             let v = read_version sh in
             if locked v then begin
-              Ctx.work ctx (backoff_cycles tries);
+              retry_wait ctx ~site:s.versions.(sh) ~attempt:tries;
               pin (tries + 1)
             end
             else v

@@ -44,6 +44,8 @@ type stats = {
   txn_aborts : int;
   txn_sub_ops : int;
   txn_retries : int;  (** acquisition retries, committed and aborted *)
+  txn_retries_locked : int;  (** retries caused by a locked shard *)
+  txn_retries_version : int;  (** retries caused by a version change *)
   scans : int;
   scan_collects : int;  (** per-shard walk executions (>= touched shards) *)
   scan_tag_fallbacks : int;

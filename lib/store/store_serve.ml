@@ -77,7 +77,7 @@ let op spec ctx store payload =
       let lo = h mod (spec.key_space - spec.scan_width + 1) in
       ignore (Store.scan ctx store ~lo ~hi:(lo + spec.scan_width - 1))
 
-let run ?cfg ?obs ?make_policy ?series spec (c : Serve.config) =
+let run ?cfg ?obs ?make_policy ?series ?cm spec (c : Serve.config) =
   let store = ref None in
   let setup ctx =
     let st =
@@ -96,7 +96,7 @@ let run ?cfg ?obs ?make_policy ?series spec (c : Serve.config) =
   in
   let name = Printf.sprintf "store-%s" (Backend.name spec.backend) in
   let r =
-    Serve.run ?cfg ?obs ?make_policy ?series
+    Serve.run ?cfg ?obs ?make_policy ?series ?cm
       ~classes:(classes, classify spec)
       ~name ~setup ~op:(op spec) c
   in

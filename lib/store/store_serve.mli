@@ -51,6 +51,7 @@ val run :
   ?obs:Mt_obs.Obs.t ->
   ?make_policy:(Mt_sim.Machine.t -> Mt_sim.Runtime.policy) ->
   ?series:Mt_obs.Series.t ->
+  ?cm:Mt_cm.Cm.spec ->
   spec ->
   Mt_serve.Server.config ->
   Mt_serve.Server.result * Store.stats

@@ -63,7 +63,7 @@ let identity_keys =
   [
     "impl"; "backend"; "comparison"; "workload"; "scenario"; "mode";
     "queues"; "admission"; "arrival"; "paper_claim"; "fault_spec";
-    "generator"; "quick"; "skipped"; "calibration";
+    "generator"; "quick"; "skipped"; "calibration"; "policy"; "theta";
   ]
 
 (* Subtrees that are host- or wall-clock-dependent by contract. *)

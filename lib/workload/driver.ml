@@ -22,8 +22,8 @@ type result = {
   stats : Stats.t;
 }
 
-let run_custom ?cfg ?(obs = Obs.null) ?make_policy ?series ~name ~setup ~op
-    (spec : Spec.t) =
+let run_custom ?cfg ?(obs = Obs.null) ?make_policy ?series ?cm ~name ~setup
+    ~op (spec : Spec.t) =
   let cfg =
     match cfg with Some c -> c | None -> Config.default ~num_cores:spec.threads ()
   in
@@ -36,7 +36,7 @@ let run_custom ?cfg ?(obs = Obs.null) ?make_policy ?series ~name ~setup ~op
   let counts = Array.make spec.threads 0 in
   let latency = Hist.create () in
   let phase ?policy ?tick ~seed ~horizon ~record () =
-    Harness.exec m ~seed ?policy ?tick ~threads:spec.threads (fun ctx ->
+    Harness.exec m ~seed ?policy ?tick ?cm ~threads:spec.threads (fun ctx ->
         let core = Ctx.core ctx in
         let ops = ref 0 in
         while Ctx.now ctx < horizon do
@@ -102,8 +102,8 @@ let run_custom ?cfg ?(obs = Obs.null) ?make_policy ?series ~name ~setup ~op
     stats;
   }
 
-let run_set ?cfg ?obs ?make_policy ?series (module S : Mt_list.Set_intf.SET)
-    (spec : Spec.t) =
+let run_set ?cfg ?obs ?make_policy ?series ?cm
+    (module S : Mt_list.Set_intf.SET) (spec : Spec.t) =
   let setup ctx =
     let s = S.create ctx in
     let g = Prng.create ~seed:(spec.seed + 1) in
@@ -120,7 +120,7 @@ let run_set ?cfg ?obs ?make_policy ?series (module S : Mt_list.Set_intf.SET)
     else if r < spec.insert_pct + spec.delete_pct then ignore (S.delete ctx s k)
     else ignore (S.contains ctx s k)
   in
-  run_custom ?cfg ?obs ?make_policy ?series ~name:S.name ~setup ~op spec
+  run_custom ?cfg ?obs ?make_policy ?series ?cm ~name:S.name ~setup ~op spec
 
 let pp_result ppf r =
   Format.fprintf ppf

@@ -36,12 +36,19 @@ type result = {
     baseline are installed after warmup/reset, boundary snapshots fire
     from a scheduler tick, and the tail window is closed at the final
     clock. Requires a recording [obs] (a [retain:false] sink works — the
-    series reads the live stream, not the rings). *)
+    series reads the live stream, not the rings).
+
+    [cm] selects the contention-management policy consulted on every
+    CAS/VAS/IAS failure and restart (see {!Mt_cm.Cm}); it applies to both
+    warmup and measurement so the two phases see the same dynamics. The
+    default, {!Mt_cm.Cm.immediate}, reproduces the historical behavior
+    byte-for-byte. *)
 val run_set :
   ?cfg:Mt_sim.Config.t ->
   ?obs:Mt_obs.Obs.t ->
   ?make_policy:(Mt_sim.Machine.t -> Mt_sim.Runtime.policy) ->
   ?series:Mt_obs.Series.t ->
+  ?cm:Mt_cm.Cm.spec ->
   (module Mt_list.Set_intf.SET) ->
   Spec.t ->
   result
@@ -56,6 +63,7 @@ val run_custom :
   ?obs:Mt_obs.Obs.t ->
   ?make_policy:(Mt_sim.Machine.t -> Mt_sim.Runtime.policy) ->
   ?series:Mt_obs.Series.t ->
+  ?cm:Mt_cm.Cm.spec ->
   name:string ->
   setup:(Mt_core.Ctx.t -> 'a) ->
   op:(Mt_core.Ctx.t -> 'a -> unit) ->
